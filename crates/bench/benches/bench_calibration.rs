@@ -1,0 +1,67 @@
+//! Criterion bench for experiment E-F6a (paper Fig. 6, calibration): the
+//! per-pixel calibration primitive and the calibrated-vs-uncalibrated
+//! read path of the neural pixel, plus the ablation (calibration on/off).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bsa_core::neuro_chip::{NeuroPixel, NeuroPixelConfig};
+use bsa_units::{Seconds, Volt};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_pixel_calibration(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let pixel = NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng);
+    c.bench_function("f6a_calibrate_one_pixel", |b| {
+        b.iter(|| {
+            let mut p = pixel.clone();
+            p.calibrate(Seconds::ZERO);
+            black_box(p.is_calibrated())
+        });
+    });
+}
+
+fn bench_pixel_read(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut calibrated = NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng);
+    calibrated.calibrate(Seconds::ZERO);
+    let uncalibrated = NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng);
+    c.bench_function("f6a_read_calibrated", |b| {
+        b.iter(|| {
+            black_box(calibrated.read(black_box(Volt::from_micro(500.0)), Seconds::ZERO))
+        });
+    });
+    c.bench_function("f6a_read_uncalibrated", |b| {
+        b.iter(|| {
+            black_box(uncalibrated.read(black_box(Volt::from_micro(500.0)), Seconds::ZERO))
+        });
+    });
+}
+
+fn bench_array_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f6a_array");
+    group.sample_size(10);
+    group.bench_function("calibrate_1024_pixels", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pixels: Vec<NeuroPixel> = (0..1024)
+            .map(|_| NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng))
+            .collect();
+        b.iter(|| {
+            let mut ps = pixels.clone();
+            for p in &mut ps {
+                p.calibrate(Seconds::ZERO);
+            }
+            black_box(ps.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pixel_calibration,
+    bench_pixel_read,
+    bench_array_calibration
+);
+criterion_main!(benches);

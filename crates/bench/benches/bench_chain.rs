@@ -1,0 +1,81 @@
+//! Criterion bench for experiment E-F6b (paper Fig. 6, signal path): per-
+//! sample processing through the ×100/×7/×4/×2 chain at the real dwell
+//! time, and the gain-calibration procedure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bsa_core::neuro_chip::{ChainConfig, ChannelChain};
+use bsa_units::{Ampere, Seconds};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_process_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f6b_chain");
+    for (label, dwell_ns) in [("2kfps_dwell_488ns", 488.0), ("16kfps_dwell_61ns", 61.0)] {
+        group.bench_with_input(
+            BenchmarkId::new("process_sample", label),
+            &dwell_ns,
+            |b, &dwell_ns| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                let mut chain = ChannelChain::sample(ChainConfig::default(), &mut rng);
+                chain.calibrate();
+                let dwell = Seconds::from_nano(dwell_ns);
+                b.iter(|| {
+                    black_box(chain.process_sample(
+                        black_box(Ampere::from_nano(10.0)),
+                        dwell,
+                        &mut rng,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_calibrate(c: &mut Criterion) {
+    c.bench_function("f6b_stage_calibration", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let chain = ChannelChain::sample(ChainConfig::default(), &mut rng);
+        b.iter(|| {
+            let mut ch = chain.clone();
+            ch.calibrate();
+            black_box(ch.current_gain())
+        });
+    });
+}
+
+fn bench_row_burst(c: &mut Criterion) {
+    // One full row over 16 channels × 8 mux slots = 128 samples.
+    let mut group = c.benchmark_group("f6b_row");
+    group.sample_size(20);
+    group.bench_function("row_128_samples_16_channels", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut channels: Vec<ChannelChain> = (0..16)
+            .map(|_| {
+                let mut ch = ChannelChain::sample(ChainConfig::default(), &mut rng);
+                ch.calibrate();
+                ch
+            })
+            .collect();
+        let dwell = Seconds::from_nano(488.0);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for ch in &mut channels {
+                ch.reset_settling();
+            }
+            for slot in 0..8 {
+                for ch in channels.iter_mut() {
+                    let i = Ampere::from_nano(slot as f64);
+                    acc += ch.process_sample(i, dwell, &mut rng).value();
+                }
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_process_sample, bench_calibrate, bench_row_burst);
+criterion_main!(benches);

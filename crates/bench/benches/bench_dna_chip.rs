@@ -1,0 +1,73 @@
+//! Criterion bench for experiment E-F4 (paper Fig. 4): full-chip
+//! operations — die instantiation, auto-calibration, array measurement,
+//! assay and serial readout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bsa_core::dna_chip::{decode_frames, DnaChip, DnaChipConfig, SampleMix};
+use bsa_electrochem::sequence::DnaSequence;
+use bsa_units::sweep::decades;
+use bsa_units::{Ampere, Molar};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_die_and_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_chip");
+    group.sample_size(10);
+    group.bench_function("instantiate_die", |b| {
+        b.iter(|| black_box(DnaChip::new(DnaChipConfig::default()).unwrap()));
+    });
+    group.bench_function("auto_calibrate_128px", |b| {
+        let mut chip = DnaChip::new(DnaChipConfig::default()).unwrap();
+        b.iter(|| black_box(chip.auto_calibrate()));
+    });
+    group.finish();
+}
+
+fn bench_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_measure");
+    group.sample_size(10);
+    let mut chip = DnaChip::new(DnaChipConfig::default()).unwrap();
+    chip.auto_calibrate();
+    let ladder = decades(1e-12, 100e-9, 5);
+    let currents: Vec<Ampere> = (0..chip.geometry().len())
+        .map(|k| Ampere::new(ladder[k % ladder.len()]))
+        .collect();
+    group.bench_function("measure_full_array", |b| {
+        b.iter(|| black_box(chip.measure_currents(black_box(&currents))));
+    });
+    group.finish();
+}
+
+fn bench_assay_and_serial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_assay");
+    group.sample_size(10);
+    let mut rng = SmallRng::seed_from_u64(9);
+    let probes: Vec<DnaSequence> =
+        (0..128).map(|_| DnaSequence::random(20, &mut rng)).collect();
+    let mut chip = DnaChip::new(DnaChipConfig::default()).unwrap();
+    chip.spot_all(&probes);
+    chip.auto_calibrate();
+    let sample =
+        SampleMix::new().with_target(probes[0].reverse_complement(), Molar::from_nano(100.0));
+    group.bench_function("full_assay_128_sites", |b| {
+        b.iter(|| black_box(chip.run_assay(black_box(&sample))));
+    });
+    let readout = chip.run_assay(&sample);
+    group.bench_function("serial_encode_decode_7168_bits", |b| {
+        b.iter(|| {
+            let bits = chip.serial_readout(black_box(&readout));
+            black_box(decode_frames(&bits).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_die_and_calibration,
+    bench_measurement,
+    bench_assay_and_serial
+);
+criterion_main!(benches);

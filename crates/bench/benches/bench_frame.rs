@@ -1,0 +1,72 @@
+//! Criterion bench for experiment E-F6c (paper §3): full-array frame
+//! recording at 2 kframes/s, on sub-arrays and the full 128×128 chip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bsa_core::array::ArrayGeometry;
+use bsa_core::neuro_chip::{NeuroChip, NeuroChipConfig};
+use bsa_neuro::culture::{Culture, CultureConfig};
+use bsa_units::{Meter, Seconds};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn culture(n: usize) -> Culture {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let cfg = CultureConfig {
+        neuron_count: n,
+        mean_rate_hz: 20.0,
+        ..CultureConfig::default()
+    };
+    let mut c = Culture::random(&cfg, &mut rng);
+    c.generate_spikes(Seconds::from_milli(100.0), &mut rng);
+    c
+}
+
+fn bench_subarray_frames(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f6c_record");
+    group.sample_size(10);
+    let cult = culture(5);
+    for (label, rows) in [("16x16", 16usize), ("32x32", 32)] {
+        group.bench_with_input(BenchmarkId::new("record_10_frames", label), &rows, |b, &rows| {
+            let cfg = NeuroChipConfig {
+                geometry: ArrayGeometry::new(rows, rows, Meter::from_micro(7.8)).unwrap(),
+                channels: 4,
+                ..NeuroChipConfig::default()
+            };
+            let mut chip = NeuroChip::new(cfg).unwrap();
+            b.iter(|| black_box(chip.record(&cult, Seconds::ZERO, 10).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_array_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f6c_full_array");
+    group.sample_size(10);
+    let cult = culture(12);
+    group.bench_function("record_one_128x128_frame", |b| {
+        let mut chip = NeuroChip::new(NeuroChipConfig::default()).unwrap();
+        b.iter(|| black_box(chip.record(&cult, Seconds::ZERO, 1).len()));
+    });
+    group.finish();
+}
+
+fn bench_offset_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f6c_offset_map");
+    group.sample_size(10);
+    group.bench_function("offset_map_128x128", |b| {
+        let mut chip = NeuroChip::new(NeuroChipConfig::default()).unwrap();
+        chip.calibrate(Seconds::ZERO);
+        b.iter(|| black_box(chip.offset_map(Seconds::ZERO).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_subarray_frames,
+    bench_full_array_frame,
+    bench_offset_map
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion bench for experiment E-F2 (paper Fig. 2): hybridization
+//! kinetics, the full assay protocol, and the redox-cycling current model
+//! with its single-electrode baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bsa_electrochem::assay::{AssayConditions, SpottedSite};
+use bsa_electrochem::hybridization::HybridizationModel;
+use bsa_electrochem::redox::RedoxCyclingModel;
+use bsa_electrochem::sequence::DnaSequence;
+use bsa_units::consts::ROOM_TEMPERATURE;
+use bsa_units::{Molar, Seconds};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_kinetics(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let probe = DnaSequence::random(20, &mut rng);
+    let target = probe.reverse_complement();
+    let model = HybridizationModel::default();
+    c.bench_function("f2_langmuir_coverage", |b| {
+        b.iter(|| {
+            black_box(model.coverage_after(
+                black_box(&probe),
+                black_box(&target),
+                Molar::from_nano(100.0),
+                ROOM_TEMPERATURE,
+                0.0,
+                Seconds::new(3600.0),
+            ))
+        });
+    });
+}
+
+fn bench_assay_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_assay");
+    group.sample_size(20);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let probe = DnaSequence::random(20, &mut rng);
+    let cond = AssayConditions::default();
+    for mm in [0usize, 2] {
+        let target = probe.reverse_complement().with_mismatches(mm);
+        group.bench_with_input(BenchmarkId::new("protocol", mm), &target, |b, t| {
+            let site = SpottedSite::new(probe.clone());
+            b.iter(|| black_box(site.run(t, Molar::from_nano(100.0), &cond)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_redox_models(c: &mut Criterion) {
+    let model = RedoxCyclingModel::default();
+    c.bench_function("f2_redox_cycling_current", |b| {
+        b.iter(|| black_box(model.sensor_current(black_box(0.5))));
+    });
+    c.bench_function("f2_single_electrode_baseline", |b| {
+        b.iter(|| black_box(model.single_electrode_current(black_box(0.5))));
+    });
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    // Probe sliding along a 100× longer target (the paper's long targets).
+    let mut rng = SmallRng::seed_from_u64(3);
+    let probe = DnaSequence::random(20, &mut rng);
+    let target = DnaSequence::random(2000, &mut rng);
+    c.bench_function("f2_best_alignment_20mer_vs_2000mer", |b| {
+        b.iter(|| black_box(probe.mismatches_with(black_box(&target))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kinetics,
+    bench_assay_protocol,
+    bench_redox_models,
+    bench_alignment
+);
+criterion_main!(benches);

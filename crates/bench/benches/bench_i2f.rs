@@ -1,0 +1,58 @@
+//! Criterion bench for experiment E-F3 (paper Fig. 3): the in-pixel
+//! current-to-frequency converter, across the five-decade current range
+//! and for the detailed transient simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bsa_core::dna_chip::{DnaPixel, DnaPixelConfig};
+use bsa_units::{Ampere, Seconds};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_conversion");
+    group.sample_size(20);
+    for (label, i) in [
+        ("1pA", Ampere::from_pico(1.0)),
+        ("1nA", Ampere::from_nano(1.0)),
+        ("100nA", Ampere::from_nano(100.0)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("convert", label), &i, |b, &i| {
+            let mut pixel = DnaPixel::nominal(DnaPixelConfig::default());
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| {
+                let r = pixel.convert(black_box(i), Seconds::new(10.0), &mut rng);
+                black_box(r.count)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_transient");
+    group.sample_size(10);
+    group.bench_function("sawtooth_100us_at_10ns", |b| {
+        let pixel = DnaPixel::nominal(DnaPixelConfig::default());
+        b.iter(|| {
+            let w = pixel.transient(
+                black_box(Ampere::from_nano(10.0)),
+                Seconds::from_micro(100.0),
+                Seconds::from_nano(10.0),
+            );
+            black_box(w.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    c.bench_function("f3_estimate_current", |b| {
+        let pixel = DnaPixel::nominal(DnaPixelConfig::default());
+        b.iter(|| black_box(pixel.estimate_current(black_box(99_900), Seconds::new(10.0))));
+    });
+}
+
+criterion_group!(benches, bench_conversion, bench_transient, bench_estimate);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for experiment E-F1 (paper Fig. 1): library generation
+//! and the four-stage screening funnel, including the no-chip baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bsa_screening::compound::CompoundLibrary;
+use bsa_screening::pipeline::Pipeline;
+
+fn bench_library(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_library");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("generate", n), &n, |b, &n| {
+            b.iter(|| black_box(CompoundLibrary::generate(n, 1e-4, 1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_pipeline");
+    group.sample_size(10);
+    let library = CompoundLibrary::generate(100_000, 1e-4, 2);
+    group.bench_function("classic_funnel_100k", |b| {
+        let p = Pipeline::classic();
+        b.iter(|| black_box(p.run(&library, 3)));
+    });
+    group.bench_function("robot_serial_funnel_100k", |b| {
+        let p = Pipeline::without_chip_parallelism();
+        b.iter(|| black_box(p.run(&library, 3)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_library, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Error type for circuit-model construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or operating a circuit model with
+/// invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A parameter that must be strictly positive was zero or negative.
+    NonPositiveParameter {
+        /// Human-readable parameter name, e.g. `"channel width"`.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter fell outside its allowed range.
+    OutOfRange {
+        /// Human-readable parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// A parameter was NaN or infinite.
+    NonFinite {
+        /// Human-readable parameter name.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositiveParameter { name, value } => {
+                write!(f, "{name} must be positive, got {value}")
+            }
+            Self::OutOfRange {
+                name,
+                value,
+                min,
+                max,
+            } => write!(f, "{name} = {value} outside allowed range [{min}, {max}]"),
+            Self::NonFinite { name } => write!(f, "{name} must be finite"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+/// Validates that `value` is strictly positive and finite.
+pub(crate) fn require_positive(name: &'static str, value: f64) -> Result<f64, CircuitError> {
+    if !value.is_finite() {
+        return Err(CircuitError::NonFinite { name });
+    }
+    if value <= 0.0 {
+        return Err(CircuitError::NonPositiveParameter { name, value });
+    }
+    Ok(value)
+}
+
+/// Validates that `value` lies in `[min, max]` and is finite.
+pub(crate) fn require_in_range(
+    name: &'static str,
+    value: f64,
+    min: f64,
+    max: f64,
+) -> Result<f64, CircuitError> {
+    if !value.is_finite() {
+        return Err(CircuitError::NonFinite { name });
+    }
+    if value < min || value > max {
+        return Err(CircuitError::OutOfRange {
+            name,
+            value,
+            min,
+            max,
+        });
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_check() {
+        assert_eq!(require_positive("x", 1.0), Ok(1.0));
+        assert!(require_positive("x", 0.0).is_err());
+        assert!(require_positive("x", -1.0).is_err());
+        assert!(require_positive("x", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn range_check() {
+        assert_eq!(require_in_range("x", 0.5, 0.0, 1.0), Ok(0.5));
+        assert!(require_in_range("x", 1.5, 0.0, 1.0).is_err());
+        assert!(require_in_range("x", f64::INFINITY, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = CircuitError::NonPositiveParameter {
+            name: "channel width",
+            value: -2.0,
+        };
+        assert_eq!(e.to_string(), "channel width must be positive, got -2");
+        let e = CircuitError::OutOfRange {
+            name: "duty",
+            value: 2.0,
+            min: 0.0,
+            max: 1.0,
+        };
+        assert!(e.to_string().contains("outside allowed range"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<CircuitError>();
+    }
+}

@@ -1,0 +1,620 @@
+//! The assembled 16×8 DNA-microarray chip.
+//!
+//! Combines the 128 in-pixel converters with the periphery the paper lists
+//! for Fig. 4: "bandgap and current references, auto-calibration circuits,
+//! D/A-converters to provide the required voltages for the electrochemical
+//! operation, and 6 pin interface for power supply and serial digital data
+//! transmission". Process: L_min = 0.5 µm, t_ox = 15 nm, V_DD = 5 V.
+
+use super::calibration::{CalibrationReport, GainCalibration};
+use super::interface::{encode_frames, PixelReading};
+use super::pixel::{DnaPixel, DnaPixelConfig, PixelVariation};
+use crate::array::{ArrayGeometry, PixelAddress};
+use crate::error::ChipError;
+use bsa_circuit::dac::Dac;
+use bsa_circuit::reference::BandgapReference;
+use bsa_electrochem::assay::{AssayConditions, SpottedSite};
+use bsa_electrochem::redox::RedoxCyclingModel;
+use bsa_electrochem::sequence::DnaSequence;
+use bsa_units::{Ampere, Molar, Seconds, Volt};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a DNA chip instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnaChipConfig {
+    /// Array geometry (default: the paper's 16×8).
+    pub geometry: ArrayGeometry,
+    /// Nominal pixel design values.
+    pub pixel: DnaPixelConfig,
+    /// Measurement frame duration.
+    pub frame_time: Seconds,
+    /// Auto-calibration settings.
+    pub calibration: GainCalibration,
+    /// Electrochemical site model (electrode + label + cycling).
+    pub redox: RedoxCyclingModel,
+    /// Assay protocol conditions.
+    pub assay: AssayConditions,
+    /// Seed for all device mismatch and noise on this die.
+    pub seed: u64,
+}
+
+impl Default for DnaChipConfig {
+    fn default() -> Self {
+        Self {
+            geometry: ArrayGeometry::dna_16x8(),
+            pixel: DnaPixelConfig::default(),
+            frame_time: Seconds::new(10.0),
+            calibration: GainCalibration::default(),
+            redox: RedoxCyclingModel::default(),
+            assay: AssayConditions::default(),
+            seed: 0xD9A_C819,
+        }
+    }
+}
+
+/// An analyte sample: target species and their concentrations.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SampleMix {
+    targets: Vec<(DnaSequence, Molar)>,
+}
+
+impl SampleMix {
+    /// Creates an empty sample (pure buffer).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a target species at the given concentration.
+    #[must_use]
+    pub fn with_target(mut self, seq: DnaSequence, c: Molar) -> Self {
+        self.targets.push((seq, c));
+        self
+    }
+
+    /// The target species.
+    pub fn targets(&self) -> &[(DnaSequence, Molar)] {
+        &self.targets
+    }
+}
+
+/// Complete readout of one assay run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssayReadout {
+    geometry: ArrayGeometry,
+    /// Final surface coverage θ per site (ground truth).
+    pub coverages: Vec<f64>,
+    /// True (noisy) sensor currents per site.
+    pub true_currents: Vec<Ampere>,
+    /// Digitized frame counts per site.
+    pub counts: Vec<u64>,
+    /// Off-chip current estimates recovered from the counts.
+    pub estimated_currents: Vec<Ampere>,
+}
+
+impl AssayReadout {
+    /// The array geometry of this readout.
+    pub fn geometry(&self) -> ArrayGeometry {
+        self.geometry
+    }
+
+    /// The estimate at a pixel address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::AddressOutOfRange`] for addresses outside the
+    /// array.
+    pub fn estimate_at(&self, addr: PixelAddress) -> Result<Ampere, ChipError> {
+        Ok(self.estimated_currents[self.geometry.index_of(addr)?])
+    }
+
+    /// Converts the counts to serial-interface pixel readings in scan
+    /// order.
+    pub fn to_readings(&self) -> Vec<PixelReading> {
+        self.geometry
+            .iter()
+            .zip(self.counts.iter())
+            .map(|(address, &count)| PixelReading { address, count })
+            .collect()
+    }
+}
+
+/// Time-resolved readout of the hybridization phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KineticReadout {
+    /// Times into the hybridization phase.
+    pub times: Vec<Seconds>,
+    /// Ground-truth coverage per timepoint (outer) and site (inner).
+    pub coverages: Vec<Vec<f64>>,
+    /// Estimated currents per timepoint and site.
+    pub currents: Vec<Vec<Ampere>>,
+}
+
+impl KineticReadout {
+    /// Association time series of one site: (t, estimated current).
+    pub fn site_series(&self, site: usize) -> Vec<(Seconds, Ampere)> {
+        self.times
+            .iter()
+            .zip(self.currents.iter())
+            .map(|(t, row)| (*t, row[site]))
+            .collect()
+    }
+
+    /// Time at which a site first crosses `fraction` of its final current
+    /// (`None` if it never does).
+    pub fn time_to_fraction(&self, site: usize, fraction: f64) -> Option<Seconds> {
+        let last = self.currents.last()?.get(site)?.value();
+        let threshold = fraction.clamp(0.0, 1.0) * last;
+        self.times
+            .iter()
+            .zip(self.currents.iter())
+            .find(|(_, row)| row[site].value() >= threshold)
+            .map(|(t, _)| *t)
+    }
+}
+
+/// A DNA-microarray chip instance (one die, with its own mismatch).
+#[derive(Debug, Clone)]
+pub struct DnaChip {
+    config: DnaChipConfig,
+    pixels: Vec<DnaPixel>,
+    probes: Vec<Option<DnaSequence>>,
+    bandgap: BandgapReference,
+    electrode_dac: Dac,
+    rng: SmallRng,
+    calibrated: bool,
+}
+
+impl DnaChip {
+    /// Instantiates a die: samples per-pixel mismatch from the seed and
+    /// builds the periphery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError`] if the configuration is internally invalid.
+    pub fn new(config: DnaChipConfig) -> Result<Self, ChipError> {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let n = config.geometry.len();
+        let pixels = (0..n)
+            .map(|_| {
+                DnaPixel::with_variation(config.pixel.clone(), PixelVariation::sample(&mut rng))
+            })
+            .collect();
+        // 8-bit DAC over 0 … 2.5 V provides the electrochemical potentials.
+        let electrode_dac = Dac::new(8, Volt::ZERO, Volt::new(2.5))?
+            .with_element_mismatch(0.002, &mut rng);
+        Ok(Self {
+            pixels,
+            probes: vec![None; n],
+            bandgap: BandgapReference::typical_5v(),
+            electrode_dac,
+            rng,
+            calibrated: false,
+            config,
+        })
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> &DnaChipConfig {
+        &self.config
+    }
+
+    /// Array geometry.
+    pub fn geometry(&self) -> ArrayGeometry {
+        self.config.geometry
+    }
+
+    /// Whether auto-calibration has run on this die.
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated
+    }
+
+    /// The pixel at an address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::AddressOutOfRange`] for bad addresses.
+    pub fn pixel(&self, addr: PixelAddress) -> Result<&DnaPixel, ChipError> {
+        Ok(&self.pixels[self.config.geometry.index_of(addr)?])
+    }
+
+    /// Working-electrode potential produced by the on-chip DAC for a code,
+    /// referenced to the bandgap.
+    pub fn electrode_voltage(&self, dac_code: u32) -> Volt {
+        // Line regulation: the DAC reference tracks the bandgap.
+        let bg = self
+            .bandgap
+            .output(bsa_units::consts::ROOM_TEMPERATURE, Volt::new(5.0));
+        let nominal_bg = 1.205;
+        self.electrode_dac.output(dac_code) * (bg.value() / nominal_bg)
+    }
+
+    /// Spots a probe onto a site (immobilization, paper Fig. 2 a–c).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::AddressOutOfRange`] for bad addresses.
+    pub fn spot(&mut self, addr: PixelAddress, probe: DnaSequence) -> Result<(), ChipError> {
+        let i = self.config.geometry.index_of(addr)?;
+        self.probes[i] = Some(probe);
+        Ok(())
+    }
+
+    /// Spots probes across the whole array in scan order; shorter slices
+    /// leave the remaining sites bare.
+    pub fn spot_all(&mut self, probes: &[DnaSequence]) {
+        for (slot, p) in self.probes.iter_mut().zip(probes.iter()) {
+            *slot = Some(p.clone());
+        }
+    }
+
+    /// The probe at a site, if spotted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::AddressOutOfRange`] for bad addresses.
+    pub fn probe_at(&self, addr: PixelAddress) -> Result<Option<&DnaSequence>, ChipError> {
+        Ok(self.probes[self.config.geometry.index_of(addr)?].as_ref())
+    }
+
+    /// Runs the periphery auto-calibration over all pixels.
+    pub fn auto_calibrate(&mut self) -> CalibrationReport {
+        let report = self.config.calibration.run(&mut self.pixels, &mut self.rng);
+        self.calibrated = true;
+        report
+    }
+
+    /// Digitizes externally supplied sensor currents (one per site, scan
+    /// order) — the electrical-characterization mode used to sweep the
+    /// converter transfer curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `currents.len()` differs from the array size.
+    pub fn measure_currents(&mut self, currents: &[Ampere]) -> Vec<u64> {
+        assert_eq!(
+            currents.len(),
+            self.pixels.len(),
+            "one current per pixel required"
+        );
+        let frame = self.config.frame_time;
+        currents
+            .iter()
+            .zip(self.pixels.iter_mut())
+            .map(|(&i, p)| p.convert(i, frame, &mut self.rng).count)
+            .collect()
+    }
+
+    /// Recovers current estimates from counts using each pixel's
+    /// calibration state.
+    pub fn estimate_currents(&self, counts: &[u64]) -> Vec<Ampere> {
+        counts
+            .iter()
+            .zip(self.pixels.iter())
+            .map(|(&c, p)| p.estimate_current(c, self.config.frame_time))
+            .collect()
+    }
+
+    /// Runs the complete assay (hybridization → wash → redox readout →
+    /// in-pixel conversion) against a sample.
+    pub fn run_assay(&mut self, sample: &SampleMix) -> AssayReadout {
+        let n = self.config.geometry.len();
+        let mut coverages = Vec::with_capacity(n);
+        for i in 0..n {
+            let theta = match &self.probes[i] {
+                None => 0.0,
+                Some(probe) => {
+                    let site = SpottedSite::new(probe.clone());
+                    let mut total = 0.0;
+                    for (target, c) in sample.targets() {
+                        total += site.run(target, *c, &self.config.assay).final_coverage;
+                    }
+                    total.clamp(0.0, 1.0)
+                }
+            };
+            coverages.push(theta);
+        }
+
+        let frame = self.config.frame_time;
+        let mut true_currents = Vec::with_capacity(n);
+        let mut counts = Vec::with_capacity(n);
+        for (i, theta) in coverages.iter().enumerate() {
+            let i_sensor = self
+                .config
+                .redox
+                .sample_current(*theta, frame, &mut self.rng)
+                .max(Ampere::from_femto(1.0));
+            true_currents.push(i_sensor);
+            let r = self.pixels[i].convert(i_sensor, frame, &mut self.rng);
+            counts.push(r.count);
+        }
+        let estimated_currents = self.estimate_currents(&counts);
+
+        AssayReadout {
+            geometry: self.config.geometry,
+            coverages,
+            true_currents,
+            counts,
+            estimated_currents,
+        }
+    }
+
+    /// Serializes counts through the 6-pin interface (DOUT bit stream).
+    pub fn serial_readout(&self, readout: &AssayReadout) -> Vec<bool> {
+        encode_frames(&readout.to_readings())
+    }
+
+    /// Monitors hybridization *kinetics*: reads the whole array at each of
+    /// the given times into the hybridization phase (no washing), giving
+    /// the association curves electrochemical chips can record in real
+    /// time. Timepoints should be ascending.
+    pub fn monitor_hybridization(
+        &mut self,
+        sample: &SampleMix,
+        timepoints: &[Seconds],
+    ) -> KineticReadout {
+        let n = self.config.geometry.len();
+        let mut coverages = Vec::with_capacity(timepoints.len());
+        let mut currents = Vec::with_capacity(timepoints.len());
+        for &t in timepoints {
+            let mut theta_t = Vec::with_capacity(n);
+            for probe in &self.probes {
+                let theta = match probe {
+                    None => 0.0,
+                    Some(p) => {
+                        let active = self.config.assay.immobilization_yield.clamp(0.0, 1.0);
+                        let mut total = 0.0;
+                        for (target, c) in sample.targets() {
+                            total += self.config.assay.model.coverage_after(
+                                p,
+                                target,
+                                *c,
+                                self.config.assay.temperature,
+                                0.0,
+                                t,
+                            );
+                        }
+                        (total * active).clamp(0.0, 1.0)
+                    }
+                };
+                theta_t.push(theta);
+            }
+            let frame = self.config.frame_time;
+            let mut i_t = Vec::with_capacity(n);
+            for (pixel, theta) in self.pixels.iter_mut().zip(theta_t.iter()) {
+                let i_sensor = self
+                    .config
+                    .redox
+                    .sample_current(*theta, frame, &mut self.rng)
+                    .max(Ampere::from_femto(1.0));
+                let r = pixel.convert(i_sensor, frame, &mut self.rng);
+                i_t.push(pixel.estimate_current(r.count, frame));
+            }
+            coverages.push(theta_t);
+            currents.push(i_t);
+        }
+        KineticReadout {
+            times: timepoints.to_vec(),
+            coverages,
+            currents,
+        }
+    }
+
+    /// Access to the die's RNG, for callers that need reproducible
+    /// follow-on sampling tied to this die.
+    pub fn rng(&mut self) -> &mut impl Rng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dna_chip::interface::decode_frames;
+
+    fn chip() -> DnaChip {
+        DnaChip::new(DnaChipConfig::default()).unwrap()
+    }
+
+    fn probe_set(n: usize, seed: u64) -> Vec<DnaSequence> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| DnaSequence::random(20, &mut rng)).collect()
+    }
+
+    #[test]
+    fn die_has_128_distinct_pixels() {
+        let c = chip();
+        assert_eq!(c.geometry().len(), 128);
+        let v0 = c.pixel(PixelAddress::new(0, 0)).unwrap().variation().c_int_rel_err;
+        let v1 = c.pixel(PixelAddress::new(0, 1)).unwrap().variation().c_int_rel_err;
+        assert_ne!(v0, v1, "mismatch must differ pixel to pixel");
+    }
+
+    #[test]
+    fn same_seed_same_die() {
+        let a = DnaChip::new(DnaChipConfig::default()).unwrap();
+        let b = DnaChip::new(DnaChipConfig::default()).unwrap();
+        for addr in a.geometry().iter() {
+            assert_eq!(
+                a.pixel(addr).unwrap().variation(),
+                b.pixel(addr).unwrap().variation()
+            );
+        }
+    }
+
+    #[test]
+    fn electrode_voltage_tracks_dac_code() {
+        let c = chip();
+        let v0 = c.electrode_voltage(0);
+        let v128 = c.electrode_voltage(128);
+        let v255 = c.electrode_voltage(255);
+        assert!(v0 < v128 && v128 < v255);
+        assert!((v255.value() - 2.5).abs() < 0.05, "full scale = {v255}");
+    }
+
+    #[test]
+    fn spotting_and_probe_lookup() {
+        let mut c = chip();
+        let p = probe_set(1, 1).remove(0);
+        let addr = PixelAddress::new(2, 3);
+        assert!(c.probe_at(addr).unwrap().is_none());
+        c.spot(addr, p.clone()).unwrap();
+        assert_eq!(c.probe_at(addr).unwrap(), Some(&p));
+        assert!(c.spot(PixelAddress::new(99, 0), p).is_err());
+    }
+
+    #[test]
+    fn assay_discriminates_match_from_mismatch_sites() {
+        let mut c = chip();
+        let probes = probe_set(128, 2);
+        c.spot_all(&probes);
+        c.auto_calibrate();
+
+        // The sample contains the perfect complement of probe 0 only.
+        let sample = SampleMix::new().with_target(
+            probes[0].reverse_complement(),
+            Molar::from_nano(100.0),
+        );
+        let readout = c.run_assay(&sample);
+
+        let match_i = readout.estimated_currents[0];
+        // All other sites are mismatches: their median current is the floor.
+        let mut others: Vec<f64> = readout.estimated_currents[1..]
+            .iter()
+            .map(|a| a.value())
+            .collect();
+        others.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_other = others[others.len() / 2];
+        assert!(
+            match_i.value() > 100.0 * median_other.max(1e-15),
+            "match {match_i} vs median mismatch {median_other}"
+        );
+        assert!(match_i.value() > 1e-9, "match current should be nA-scale");
+    }
+
+    #[test]
+    fn bare_sites_read_background_only() {
+        let mut c = chip();
+        c.auto_calibrate();
+        let sample = SampleMix::new();
+        let readout = c.run_assay(&sample);
+        for i in &readout.true_currents {
+            assert!(i.value() < 10e-12, "bare site current = {i}");
+        }
+    }
+
+    #[test]
+    fn serial_readout_round_trips() {
+        let mut c = chip();
+        let probes = probe_set(128, 3);
+        c.spot_all(&probes);
+        let sample = SampleMix::new()
+            .with_target(probes[5].reverse_complement(), Molar::from_nano(50.0));
+        let readout = c.run_assay(&sample);
+        let bits = c.serial_readout(&readout);
+        let decoded = decode_frames(&bits).unwrap();
+        assert_eq!(decoded.len(), 128);
+        for (r, (addr, &count)) in decoded
+            .iter()
+            .zip(c.geometry().iter().zip(readout.counts.iter()))
+        {
+            assert_eq!(r.address, addr);
+            assert_eq!(r.count, count.min(0xFF_FFFF));
+        }
+    }
+
+    #[test]
+    fn measure_currents_spans_five_decades() {
+        let mut c = chip();
+        c.auto_calibrate();
+        let n = c.geometry().len();
+        // Pixel k gets a current log-spaced over 1 pA … 100 nA.
+        let currents: Vec<Ampere> = (0..n)
+            .map(|k| {
+                let f = k as f64 / (n - 1) as f64;
+                Ampere::new(1e-12 * 10f64.powf(5.0 * f))
+            })
+            .collect();
+        let counts = c.measure_currents(&currents);
+        let estimates = c.estimate_currents(&counts);
+        for (i, (est, truth)) in estimates.iter().zip(currents.iter()).enumerate() {
+            let rel = (est.value() - truth.value()).abs() / truth.value();
+            // Bottom decade is shot/quantization limited; be looser there.
+            let tol = if truth.value() < 10e-12 { 0.25 } else { 0.05 };
+            assert!(rel < tol, "pixel {i}: {truth} → {est} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn assay_readout_address_accessor() {
+        let mut c = chip();
+        let readout = c.run_assay(&SampleMix::new());
+        assert!(readout.estimate_at(PixelAddress::new(0, 0)).is_ok());
+        assert!(readout.estimate_at(PixelAddress::new(8, 0)).is_err());
+    }
+
+    #[test]
+    fn kinetic_monitoring_shows_association() {
+        let mut c = chip();
+        let probes = probe_set(128, 21);
+        c.spot_all(&probes);
+        c.auto_calibrate();
+        let sample = SampleMix::new()
+            .with_target(probes[0].reverse_complement(), Molar::from_nano(10.0));
+        let times: Vec<Seconds> = [0.0, 60.0, 180.0, 600.0, 1800.0, 3600.0]
+            .iter()
+            .map(|s| Seconds::new(*s))
+            .collect();
+        let kinetics = c.monitor_hybridization(&sample, &times);
+
+        // Site 0 associates monotonically (up to counting noise) and
+        // saturates.
+        let series = kinetics.site_series(0);
+        assert_eq!(series.len(), 6);
+        let first = series[0].1.value();
+        let last = series[5].1.value();
+        assert!(last > 100.0 * first.max(1e-15), "first {first}, last {last}");
+        let mid = series[3].1.value();
+        assert!(mid > 0.3 * last, "association should be well underway");
+
+        // A non-target site stays at background throughout.
+        let other = kinetics.site_series(64);
+        assert!(other.iter().all(|(_, i)| i.value() < 10e-12));
+    }
+
+    #[test]
+    fn higher_concentration_associates_faster() {
+        let probes = probe_set(128, 22);
+        let times: Vec<Seconds> = (0..30).map(|k| Seconds::new(k as f64 * 120.0)).collect();
+        let t_half = |c_nm: f64| -> f64 {
+            let mut chip = chip();
+            chip.spot_all(&probes);
+            chip.auto_calibrate();
+            let sample = SampleMix::new()
+                .with_target(probes[0].reverse_complement(), Molar::from_nano(c_nm));
+            let kinetics = chip.monitor_hybridization(&sample, &times);
+            kinetics
+                .time_to_fraction(0, 0.5)
+                .expect("association completes")
+                .value()
+        };
+        let fast = t_half(100.0);
+        let slow = t_half(1.0);
+        assert!(slow > 2.0 * fast, "t½(1 nM) = {slow}, t½(100 nM) = {fast}");
+    }
+
+    #[test]
+    fn estimated_matches_true_current_after_calibration() {
+        let mut c = chip();
+        let probes = probe_set(128, 4);
+        c.spot_all(&probes);
+        c.auto_calibrate();
+        let sample = SampleMix::new()
+            .with_target(probes[10].reverse_complement(), Molar::from_nano(100.0));
+        let readout = c.run_assay(&sample);
+        let est = readout.estimated_currents[10].value();
+        let truth = readout.true_currents[10].value();
+        assert!((est - truth).abs() / truth < 0.05, "est {est}, true {truth}");
+    }
+}

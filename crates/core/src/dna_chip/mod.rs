@@ -1,0 +1,20 @@
+//! The 16×8 DNA-microarray chip (paper Section 2, Figs. 3–4).
+//!
+//! Each of the 128 sensor sites carries an interdigitated gold electrode
+//! whose redox-cycling current (1 pA … 100 nA) is digitized *in the pixel*
+//! by a current-to-frequency sawtooth converter: a regulation loop holds
+//! the electrode potential, the sensor current charges C_int, a comparator
+//! plus delay stage fires a reset pulse, and a counter counts reset events
+//! within the measurement frame. The chip periphery provides bandgap and
+//! current references, auto-calibration, electrochemical DACs, and a 6-pin
+//! serial interface.
+
+mod calibration;
+mod chip;
+mod interface;
+mod pixel;
+
+pub use calibration::{CalibrationReport, GainCalibration};
+pub use chip::{AssayReadout, DnaChip, DnaChipConfig, SampleMix};
+pub use interface::{decode_frames, encode_frames, PixelReading, SerialError, PIN_COUNT};
+pub use pixel::{ConversionResult, DnaPixel, DnaPixelConfig, PixelVariation};

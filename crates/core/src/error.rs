@@ -1,0 +1,100 @@
+//! Error type for chip construction and operation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or operating a chip model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChipError {
+    /// A configuration value was invalid.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A pixel address was outside the array.
+    AddressOutOfRange {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        col: usize,
+        /// Array rows.
+        rows: usize,
+        /// Array columns.
+        cols: usize,
+    },
+    /// A serial bit stream could not be decoded.
+    SerialDecode {
+        /// What was wrong.
+        reason: String,
+    },
+    /// An underlying circuit model rejected its parameters.
+    Circuit(bsa_circuit::CircuitError),
+}
+
+impl fmt::Display for ChipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { reason } => write!(f, "invalid chip configuration: {reason}"),
+            Self::AddressOutOfRange {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "pixel ({row}, {col}) outside {rows}×{cols} array"
+            ),
+            Self::SerialDecode { reason } => write!(f, "serial decode failed: {reason}"),
+            Self::Circuit(e) => write!(f, "circuit model error: {e}"),
+        }
+    }
+}
+
+impl Error for ChipError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bsa_circuit::CircuitError> for ChipError {
+    fn from(e: bsa_circuit::CircuitError) -> Self {
+        Self::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ChipError::AddressOutOfRange {
+            row: 10,
+            col: 20,
+            rows: 8,
+            cols: 16,
+        };
+        assert_eq!(e.to_string(), "pixel (10, 20) outside 8×16 array");
+        let e = ChipError::SerialDecode {
+            reason: "bad sync".into(),
+        };
+        assert!(e.to_string().contains("bad sync"));
+    }
+
+    #[test]
+    fn wraps_circuit_error_with_source() {
+        let ce = bsa_circuit::CircuitError::NonFinite { name: "x" };
+        let e = ChipError::from(ce);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<ChipError>();
+    }
+}

@@ -1,0 +1,692 @@
+//! Full-array frame scanning at 2 kframes/s.
+//!
+//! "chips with 128×128 positions within a total sensor area of 1 mm×1 mm
+//! … Full frame rate is 2k samples/s." Rows are selected sequentially
+//! (switch S2); within a row, the 128 columns leave the chip over 16
+//! parallel channels, each serving 8 columns through an 8-to-1 multiplexer
+//! — a rolling-shutter scan whose per-pixel timing this module reproduces.
+
+use super::chain::{ChainConfig, ChannelChain};
+use super::pixel::{NeuroPixel, NeuroPixelConfig};
+use crate::array::{ArrayGeometry, PixelAddress};
+use crate::error::ChipError;
+use bsa_neuro::culture::Culture;
+use bsa_units::{Hertz, Seconds, Siemens, Volt};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Scan-timing bookkeeping derived from the frame rate and geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScanTiming {
+    /// Full-frame rate.
+    pub frame_rate: Hertz,
+    /// Duration of one frame.
+    pub frame_period: Seconds,
+    /// Duration of one row slot.
+    pub row_period: Seconds,
+    /// Per-pixel dwell time on a channel (row period / columns-per-channel).
+    pub pixel_dwell: Seconds,
+    /// Number of parallel output channels.
+    pub channels: usize,
+    /// Columns served by each channel (the mux ratio).
+    pub columns_per_channel: usize,
+}
+
+impl ScanTiming {
+    /// Computes the timing for a geometry, frame rate and channel count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::InvalidConfig`] if the column count is not an
+    /// integer multiple of the channel count or the frame rate is not
+    /// positive.
+    pub fn new(
+        geometry: ArrayGeometry,
+        frame_rate: Hertz,
+        channels: usize,
+    ) -> Result<Self, ChipError> {
+        if frame_rate.value() <= 0.0 {
+            return Err(ChipError::InvalidConfig {
+                reason: "frame rate must be positive".into(),
+            });
+        }
+        if channels == 0 || !geometry.cols().is_multiple_of(channels) {
+            return Err(ChipError::InvalidConfig {
+                reason: format!(
+                    "{} columns cannot be split over {} channels",
+                    geometry.cols(),
+                    channels
+                ),
+            });
+        }
+        let frame_period = frame_rate.recip();
+        let row_period = Seconds::new(frame_period.value() / geometry.rows() as f64);
+        let columns_per_channel = geometry.cols() / channels;
+        let pixel_dwell = Seconds::new(row_period.value() / columns_per_channel as f64);
+        Ok(Self {
+            frame_rate,
+            frame_period,
+            row_period,
+            pixel_dwell,
+            channels,
+            columns_per_channel,
+        })
+    }
+
+    /// Absolute sample time of a pixel within frame `frame`: rolling
+    /// shutter over rows, mux sequence over the channel's columns.
+    pub fn sample_time(&self, frame: usize, addr: PixelAddress) -> Seconds {
+        let slot = addr.col % self.columns_per_channel;
+        Seconds::new(
+            frame as f64 * self.frame_period.value()
+                + addr.row as f64 * self.row_period.value()
+                + slot as f64 * self.pixel_dwell.value(),
+        )
+    }
+}
+
+/// Configuration of a neural-recording chip instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuroChipConfig {
+    /// Array geometry (default: the paper's 128×128 at 7.8 µm).
+    pub geometry: ArrayGeometry,
+    /// Full-frame rate (paper: 2 kHz).
+    pub frame_rate: Hertz,
+    /// Parallel output channels (paper: 16).
+    pub channels: usize,
+    /// Pixel design values.
+    pub pixel: NeuroPixelConfig,
+    /// Per-channel signal-chain design values.
+    pub chain: ChainConfig,
+    /// Recalibration interval (the paper's periodic row-parallel,
+    /// column-sequential calibration).
+    pub recalibration_interval: Seconds,
+    /// Die seed for mismatch and noise.
+    pub seed: u64,
+}
+
+impl Default for NeuroChipConfig {
+    fn default() -> Self {
+        Self {
+            geometry: ArrayGeometry::neuro_128x128(),
+            frame_rate: Hertz::from_kilo(2.0),
+            channels: 16,
+            pixel: NeuroPixelConfig::default(),
+            chain: ChainConfig::default(),
+            recalibration_interval: Seconds::from_milli(50.0),
+            seed: 0x0EE5_1281,
+        }
+    }
+}
+
+/// One recorded frame: output-referred voltages in row-major order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    rows: usize,
+    cols: usize,
+    samples: Vec<f64>,
+}
+
+impl Frame {
+    /// Sample at an address (volts at the chain output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the frame.
+    pub fn at(&self, addr: PixelAddress) -> f64 {
+        assert!(addr.row < self.rows && addr.col < self.cols);
+        self.samples[addr.row * self.cols + addr.col]
+    }
+
+    /// Raw row-major samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Frame rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Frame columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// A multi-frame recording.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recording {
+    geometry: ArrayGeometry,
+    timing: ScanTiming,
+    frames: Vec<Frame>,
+    /// Mean pixel→output conversion (V out per V of cleft signal), for
+    /// input-referred analysis.
+    nominal_voltage_gain: f64,
+}
+
+impl Recording {
+    /// The frames.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` if no frames were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Scan timing of the recording.
+    pub fn timing(&self) -> ScanTiming {
+        self.timing
+    }
+
+    /// Array geometry.
+    pub fn geometry(&self) -> ArrayGeometry {
+        self.geometry
+    }
+
+    /// Output-referred time series of one pixel across frames.
+    pub fn pixel_series(&self, addr: PixelAddress) -> Vec<f64> {
+        self.frames.iter().map(|f| f.at(addr)).collect()
+    }
+
+    /// Input-referred (cleft-voltage) time series of one pixel: output
+    /// divided by the nominal end-to-end voltage gain.
+    pub fn pixel_series_input_referred(&self, addr: PixelAddress) -> Vec<f64> {
+        let g = self.nominal_voltage_gain;
+        self.frames.iter().map(|f| f.at(addr) / g).collect()
+    }
+
+    /// The nominal end-to-end voltage gain used for input referral.
+    pub fn nominal_voltage_gain(&self) -> f64 {
+        self.nominal_voltage_gain
+    }
+}
+
+/// A neural-recording chip instance (one die).
+#[derive(Debug, Clone)]
+pub struct NeuroChip {
+    config: NeuroChipConfig,
+    timing: ScanTiming,
+    pixels: Vec<NeuroPixel>,
+    channels: Vec<ChannelChain>,
+    calibrated: bool,
+}
+
+impl NeuroChip {
+    /// Instantiates a die with sampled mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError`] if the configuration is invalid.
+    pub fn new(config: NeuroChipConfig) -> Result<Self, ChipError> {
+        let timing = ScanTiming::new(config.geometry, config.frame_rate, config.channels)?;
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let pixels = (0..config.geometry.len())
+            .map(|_| NeuroPixel::sample(config.pixel.clone(), &mut rng))
+            .collect();
+        let channels = (0..config.channels)
+            .map(|_| ChannelChain::sample(config.chain.clone(), &mut rng))
+            .collect();
+        Ok(Self {
+            timing,
+            pixels,
+            channels,
+            calibrated: false,
+            config,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NeuroChipConfig {
+        &self.config
+    }
+
+    /// Scan timing.
+    pub fn timing(&self) -> ScanTiming {
+        self.timing
+    }
+
+    /// Whether pixel and gain-stage calibration have run.
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated
+    }
+
+    /// The pixel at an address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::AddressOutOfRange`] for bad addresses.
+    pub fn pixel(&self, addr: PixelAddress) -> Result<&NeuroPixel, ChipError> {
+        Ok(&self.pixels[self.config.geometry.index_of(addr)?])
+    }
+
+    /// Calibrates all pixels (rows in parallel, columns in sequence, as in
+    /// the paper) and all channel gain stages, at absolute time `now`.
+    pub fn calibrate(&mut self, now: Seconds) {
+        for p in &mut self.pixels {
+            p.calibrate(now);
+        }
+        for c in &mut self.channels {
+            c.calibrate();
+        }
+        self.calibrated = true;
+    }
+
+    /// Mean pixel conversion gain × chain gain × transimpedance: the
+    /// nominal cleft-voltage → output-voltage gain.
+    pub fn nominal_voltage_gain(&self) -> f64 {
+        let gm: f64 = self
+            .pixels
+            .iter()
+            .take(16)
+            .map(|p| p.conversion_gain(Seconds::ZERO).value())
+            .sum::<f64>()
+            / 16.0_f64.min(self.pixels.len() as f64);
+        Siemens::new(gm).value()
+            * self.channels[0].nominal_current_gain()
+            * self.config.chain.conversion_resistance.value()
+    }
+
+    /// Records `frames` full frames from a culture starting at `t0`,
+    /// recalibrating at the configured interval.
+    ///
+    /// Pixels are sampled at their true rolling-shutter times; each
+    /// channel's settling state evolves down its column sequence.
+    pub fn record(&mut self, culture: &Culture, t0: Seconds, frames: usize) -> Recording {
+        let geometry = self.config.geometry;
+        let timing = self.timing;
+        let cols_per_ch = timing.columns_per_channel;
+        let nominal_gain = self.nominal_voltage_gain();
+
+        let mut out = Vec::with_capacity(frames);
+        let mut last_cal = Seconds::new(f64::NEG_INFINITY);
+        let mut frame_rng = SmallRng::seed_from_u64(self.config.seed ^ 0xF0F0);
+
+        for f in 0..frames {
+            let frame_start =
+                Seconds::new(t0.value() + f as f64 * timing.frame_period.value());
+            if (frame_start - last_cal).value() >= self.config.recalibration_interval.value() {
+                self.calibrate(frame_start);
+                last_cal = frame_start;
+            }
+
+            let mut samples = vec![0.0; geometry.len()];
+            for row in 0..geometry.rows() {
+                for ch in &mut self.channels {
+                    ch.reset_settling();
+                }
+                for slot in 0..cols_per_ch {
+                    for ch_idx in 0..self.channels.len() {
+                        let col = ch_idx * cols_per_ch + slot;
+                        let addr = PixelAddress::new(row, col);
+                        let t = Seconds::new(
+                            frame_start.value()
+                                + row as f64 * timing.row_period.value()
+                                + slot as f64 * timing.pixel_dwell.value(),
+                        );
+                        let (x, y) = geometry.position_of(addr);
+                        let v_cleft = culture.cleft_voltage_at(x, y, t);
+                        let idx = row * geometry.cols() + col;
+                        let i_diff = self.pixels[idx].read(v_cleft, t);
+                        let v = self.channels[ch_idx].process_sample(
+                            i_diff,
+                            timing.pixel_dwell,
+                            &mut frame_rng,
+                        );
+                        samples[idx] = v.value();
+                    }
+                }
+            }
+            out.push(Frame {
+                rows: geometry.rows(),
+                cols: geometry.cols(),
+                samples,
+            });
+        }
+
+        Recording {
+            geometry,
+            timing,
+            frames: out,
+            nominal_voltage_gain: nominal_gain,
+        }
+    }
+
+    /// Records without ever calibrating — the baseline the paper's
+    /// calibration scheme is designed to beat. (Temporarily forces an
+    /// uncalibrated state; any prior calibration is discarded.)
+    pub fn record_uncalibrated(
+        &mut self,
+        culture: &Culture,
+        t0: Seconds,
+        frames: usize,
+    ) -> Recording {
+        // Rebuild pixels to clear stored calibration.
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        self.pixels = (0..self.config.geometry.len())
+            .map(|_| NeuroPixel::sample(self.config.pixel.clone(), &mut rng))
+            .collect();
+        self.calibrated = false;
+
+        let geometry = self.config.geometry;
+        let timing = self.timing;
+        let cols_per_ch = timing.columns_per_channel;
+        let nominal_gain = self.nominal_voltage_gain();
+        let mut frame_rng = SmallRng::seed_from_u64(self.config.seed ^ 0xF0F0);
+
+        let mut out = Vec::with_capacity(frames);
+        for f in 0..frames {
+            let frame_start =
+                Seconds::new(t0.value() + f as f64 * timing.frame_period.value());
+            let mut samples = vec![0.0; geometry.len()];
+            for row in 0..geometry.rows() {
+                for ch in &mut self.channels {
+                    ch.reset_settling();
+                }
+                for slot in 0..cols_per_ch {
+                    for ch_idx in 0..self.channels.len() {
+                        let col = ch_idx * cols_per_ch + slot;
+                        let addr = PixelAddress::new(row, col);
+                        let t = Seconds::new(
+                            frame_start.value()
+                                + row as f64 * timing.row_period.value()
+                                + slot as f64 * timing.pixel_dwell.value(),
+                        );
+                        let (x, y) = geometry.position_of(addr);
+                        let v_cleft = culture.cleft_voltage_at(x, y, t);
+                        let idx = row * geometry.cols() + col;
+                        let i_diff = self.pixels[idx].read(v_cleft, t);
+                        let v = self.channels[ch_idx].process_sample(
+                            i_diff,
+                            timing.pixel_dwell,
+                            &mut frame_rng,
+                        );
+                        samples[idx] = v.value();
+                    }
+                }
+            }
+            out.push(Frame {
+                rows: geometry.rows(),
+                cols: geometry.cols(),
+                samples,
+            });
+        }
+        Recording {
+            geometry,
+            timing,
+            frames: out,
+            nominal_voltage_gain: nominal_gain,
+        }
+    }
+
+    /// Electrical test mode: measures each pixel's conversion gain
+    /// (output volts per volt of cleft signal) by applying a known test
+    /// amplitude capacitively — the gain map production test programs
+    /// record before shipping a die. Requires a calibrated chip for
+    /// meaningful numbers.
+    pub fn gain_map(&mut self, test_amplitude: Volt, now: Seconds) -> Vec<f64> {
+        let cols_per_ch = self.timing.columns_per_channel;
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0x6A1);
+        let mut out = vec![0.0; self.config.geometry.len()];
+        // Long dwell + two reads (0 and test amplitude) per pixel.
+        let dwell = Seconds::from_micro(10.0);
+        for row in 0..self.config.geometry.rows() {
+            for slot in 0..cols_per_ch {
+                for ch_idx in 0..self.channels.len() {
+                    let col = ch_idx * cols_per_ch + slot;
+                    let idx = row * self.config.geometry.cols() + col;
+                    self.channels[ch_idx].reset_settling();
+                    let i0 = self.pixels[idx].read(Volt::ZERO, now);
+                    let v0 = self.channels[ch_idx].process_sample(i0, dwell, &mut rng);
+                    self.channels[ch_idx].reset_settling();
+                    let i1 = self.pixels[idx].read(test_amplitude, now);
+                    let v1 = self.channels[ch_idx].process_sample(i1, dwell, &mut rng);
+                    out[idx] = (v1 - v0).value() / test_amplitude.value();
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-pixel zero-input offsets at the chain output (one instantaneous
+    /// read of every pixel with no signal), for mismatch/calibration
+    /// studies.
+    pub fn offset_map(&mut self, now: Seconds) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0xBEEF);
+        let cols_per_ch = self.timing.columns_per_channel;
+        let mut out = vec![0.0; self.config.geometry.len()];
+        for row in 0..self.config.geometry.rows() {
+            for ch in &mut self.channels {
+                ch.reset_settling();
+            }
+            for slot in 0..cols_per_ch {
+                for ch_idx in 0..self.channels.len() {
+                    let col = ch_idx * cols_per_ch + slot;
+                    let idx = row * self.config.geometry.cols() + col;
+                    let i_diff = self.pixels[idx].read(Volt::ZERO, now);
+                    let v = self.channels[ch_idx].process_sample(
+                        i_diff,
+                        Seconds::from_micro(10.0),
+                        &mut rng,
+                    );
+                    out[idx] = v.value();
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsa_neuro::culture::{Culture, CultureConfig};
+    use bsa_units::Meter;
+
+    fn small_config() -> NeuroChipConfig {
+        NeuroChipConfig {
+            geometry: ArrayGeometry::new(16, 16, Meter::from_micro(7.8)).unwrap(),
+            channels: 4,
+            ..NeuroChipConfig::default()
+        }
+    }
+
+    #[test]
+    fn paper_timing_numbers() {
+        let t = ScanTiming::new(
+            ArrayGeometry::neuro_128x128(),
+            Hertz::from_kilo(2.0),
+            16,
+        )
+        .unwrap();
+        // Frame 500 µs, row 3.9 µs, dwell 488 ns, 8 columns per channel.
+        assert!((t.frame_period.as_micro() - 500.0).abs() < 1e-9);
+        assert!((t.row_period.as_micro() - 3.90625).abs() < 1e-6);
+        assert_eq!(t.columns_per_channel, 8);
+        assert!((t.pixel_dwell.as_nano() - 488.28).abs() < 0.1);
+    }
+
+    #[test]
+    fn timing_rejects_bad_channel_split() {
+        assert!(ScanTiming::new(
+            ArrayGeometry::neuro_128x128(),
+            Hertz::from_kilo(2.0),
+            10
+        )
+        .is_err());
+        assert!(ScanTiming::new(ArrayGeometry::neuro_128x128(), Hertz::ZERO, 16).is_err());
+    }
+
+    #[test]
+    fn sample_times_are_rolling_shutter() {
+        let t = ScanTiming::new(
+            ArrayGeometry::neuro_128x128(),
+            Hertz::from_kilo(2.0),
+            16,
+        )
+        .unwrap();
+        let t00 = t.sample_time(0, PixelAddress::new(0, 0));
+        let t10 = t.sample_time(0, PixelAddress::new(1, 0));
+        let t01 = t.sample_time(0, PixelAddress::new(0, 1));
+        let t08 = t.sample_time(0, PixelAddress::new(0, 8));
+        assert!(t10 > t00, "later rows sample later");
+        assert!(t01 > t00, "later mux slots sample later");
+        // Column 8 is slot 0 of channel 1: same time as column 0.
+        assert_eq!(t08, t00);
+        let next_frame = t.sample_time(1, PixelAddress::new(0, 0));
+        assert!((next_frame.value() - 500e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quiet_culture_records_near_zero_after_calibration() {
+        let mut chip = NeuroChip::new(small_config()).unwrap();
+        let culture = Culture::empty(Meter::from_milli(1.0), Meter::from_milli(1.0));
+        let rec = chip.record(&culture, Seconds::ZERO, 5);
+        assert_eq!(rec.len(), 5);
+        assert!(chip.is_calibrated());
+        // Residual output spread ≪ the output swing a 1 mV signal causes.
+        let gain = rec.nominal_voltage_gain();
+        for f in rec.frames() {
+            for s in f.samples() {
+                assert!(
+                    s.abs() < gain * 2e-3,
+                    "zero-signal output {s} vs 2 mV-equivalent {}",
+                    gain * 2e-3
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uncalibrated_offsets_dominate() {
+        let mut chip = NeuroChip::new(small_config()).unwrap();
+        let culture = Culture::empty(Meter::from_milli(1.0), Meter::from_milli(1.0));
+        let cal = chip.record(&culture, Seconds::ZERO, 1);
+        let uncal = chip.record_uncalibrated(&culture, Seconds::ZERO, 1);
+        let spread = |fr: &Frame| {
+            let m = fr.samples().iter().sum::<f64>() / fr.samples().len() as f64;
+            (fr.samples().iter().map(|x| (x - m).powi(2)).sum::<f64>()
+                / fr.samples().len() as f64)
+                .sqrt()
+        };
+        let s_cal = spread(&cal.frames()[0]);
+        let s_uncal = spread(&uncal.frames()[0]);
+        assert!(
+            s_uncal > 10.0 * s_cal,
+            "uncal {s_uncal} vs cal {s_cal}: calibration must win by ≫10×"
+        );
+    }
+
+    #[test]
+    fn spiking_neuron_appears_at_its_pixel() {
+        use bsa_neuro::firing::FiringPattern;
+        use bsa_neuro::junction::{ApTemplate, CleftJunction};
+
+        let mut chip = NeuroChip::new(small_config()).unwrap();
+        let geometry = chip.config().geometry;
+        // Place one neuron over pixel (8, 8).
+        let (x, y) = geometry.position_of(PixelAddress::new(8, 8));
+        // A well-coupled neuron (tight cleft): 3× the nominal template,
+        // still inside the paper's 100 µV – 5 mV window.
+        let template =
+            ApTemplate::from_hh(&CleftJunction::nominal(), Seconds::new(10e-6)).scaled(3.0);
+        let mut culture = Culture::empty(Meter::from_milli(1.0), Meter::from_milli(1.0));
+        // Pixel (8, 8) of the 16×16 test array samples at 250 µs within
+        // each 500 µs frame (row 8 of 16); place the spike so that sample
+        // lands ~150 µs after the upstroke, inside the AP's main phase.
+        culture.push(bsa_neuro::culture::CulturedNeuron {
+            x,
+            y,
+            diameter: Meter::from_micro(30.0),
+            pattern: FiringPattern::Silent,
+            template,
+            spikes: vec![Seconds::from_micro(2100.0)],
+        });
+
+        let rec = chip.record(&culture, Seconds::ZERO, 12); // 6 ms
+        // Remove each pixel's static offset (injection residual) the way
+        // any real readout pipeline does, then look for the transient.
+        let detrended_peak = |series: &[f64]| {
+            let mean = series.iter().sum::<f64>() / series.len() as f64;
+            series
+                .iter()
+                .map(|x| (x - mean).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let series = rec.pixel_series_input_referred(PixelAddress::new(8, 8));
+        let peak = detrended_peak(&series);
+        assert!(
+            peak > 100e-6,
+            "spike must appear ≥100 µV input-referred, got {peak}"
+        );
+        // A far-away pixel stays quiet.
+        let far = rec.pixel_series_input_referred(PixelAddress::new(1, 1));
+        let far_peak = detrended_peak(&far);
+        assert!(far_peak < peak / 3.0, "far pixel {far_peak} vs {peak}");
+    }
+
+    #[test]
+    fn offset_map_has_one_entry_per_pixel() {
+        let mut chip = NeuroChip::new(small_config()).unwrap();
+        let map = chip.offset_map(Seconds::ZERO);
+        assert_eq!(map.len(), 256);
+    }
+
+    #[test]
+    fn gain_map_is_uniform_after_calibration() {
+        let mut chip = NeuroChip::new(small_config()).unwrap();
+        chip.calibrate(Seconds::ZERO);
+        let map = chip.gain_map(Volt::from_milli(1.0), Seconds::ZERO);
+        assert_eq!(map.len(), 256);
+        let mean = map.iter().sum::<f64>() / map.len() as f64;
+        let sd = (map.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / map.len() as f64).sqrt();
+        // Nominal cleft-to-output gain is ~120 V/V; residual spread comes
+        // from gm variation M1 calibration cannot equalize.
+        assert!(mean > 50.0 && mean < 300.0, "mean gain = {mean}");
+        assert!(sd / mean < 0.15, "gain spread = {}", sd / mean);
+        assert!(map.iter().all(|g| *g > 0.0), "all pixels respond");
+    }
+
+    #[test]
+    fn pixel_accessor_bounds_check() {
+        let chip = NeuroChip::new(small_config()).unwrap();
+        assert!(chip.pixel(PixelAddress::new(0, 0)).is_ok());
+        assert!(chip.pixel(PixelAddress::new(16, 0)).is_err());
+    }
+
+    #[test]
+    fn recording_accessors() {
+        let mut chip = NeuroChip::new(small_config()).unwrap();
+        let culture = Culture::empty(Meter::from_milli(1.0), Meter::from_milli(1.0));
+        let rec = chip.record(&culture, Seconds::ZERO, 3);
+        assert!(!rec.is_empty());
+        assert_eq!(rec.pixel_series(PixelAddress::new(0, 0)).len(), 3);
+        assert_eq!(rec.geometry().len(), 256);
+        assert!(rec.nominal_voltage_gain() > 0.0);
+    }
+
+    #[test]
+    fn random_culture_smoke_test() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let cfg = CultureConfig {
+            neuron_count: 5,
+            ..CultureConfig::default()
+        };
+        let mut culture = Culture::random(&cfg, &mut rng);
+        culture.generate_spikes(Seconds::from_milli(20.0), &mut rng);
+        let mut chip = NeuroChip::new(small_config()).unwrap();
+        let rec = chip.record(&culture, Seconds::ZERO, 10);
+        assert_eq!(rec.len(), 10);
+        assert!(rec.frames().iter().all(|f| f.samples().iter().all(|s| s.is_finite())));
+    }
+}

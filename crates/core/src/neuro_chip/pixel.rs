@@ -1,0 +1,332 @@
+//! The calibrated sensor pixel (paper Fig. 6, M1/M2/S1–S3).
+//!
+//! "Since the maximum signal amplitudes are between 100 µV and 5 mV, the
+//! sensor MOSFETs (M1) must be calibrated to compensate for the effect of
+//! their parameter variations. This is done by closing switch S1 and
+//! forcing a current through M1 by current source M2. After opening S1
+//! again, a voltage related to the calibration current is stored on the
+//! gate of M1. … all sensor transistors M1 within a row provide the same
+//! current when selected independent of their individual device
+//! parameters."
+
+use bsa_circuit::mismatch::PelgromModel;
+use bsa_circuit::mosfet::{Mosfet, MosfetParams};
+use bsa_circuit::noise::GaussianSampler;
+use bsa_units::{Ampere, Farad, Seconds, Siemens, Volt};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Design values of the neural pixel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuroPixelConfig {
+    /// Sensor transistor geometry/process (M1).
+    pub sensor_fet: MosfetParams,
+    /// Calibration current forced by M2.
+    pub cal_current: Ampere,
+    /// Capacitive coupling ratio from electrode to M1 gate
+    /// (C_electrode / C_total of the floating node).
+    pub coupling_ratio: f64,
+    /// Calibration storage capacitance on the gate node.
+    pub storage_cap: Farad,
+    /// Residual offset σ from S1 charge injection, referred to the gate
+    /// (static per pixel).
+    pub injection_sigma: Volt,
+    /// Mean droop rate of the stored gate voltage (leakage), V/s.
+    pub droop_rate_v_per_s: f64,
+    /// Drain bias of M1 during readout.
+    pub v_drain: Volt,
+    /// Source potential of M1.
+    pub v_source: Volt,
+    /// Pelgrom mismatch model of the process.
+    pub pelgrom: PelgromModel,
+    /// Relative mismatch σ of the M2 calibration current between pixels.
+    pub cal_current_rel_sigma: f64,
+}
+
+impl Default for NeuroPixelConfig {
+    /// Values for the paper's 0.5 µm process: a 4 µm / 1.5 µm sensor FET
+    /// biased at 2 µA, 80 % electrode coupling, 150 µV injection residual.
+    fn default() -> Self {
+        Self {
+            sensor_fet: MosfetParams::n05um(4.0, 1.5),
+            cal_current: Ampere::from_micro(2.0),
+            coupling_ratio: 0.8,
+            storage_cap: Farad::from_femto(50.0),
+            injection_sigma: Volt::from_micro(150.0),
+            // σ of the per-pixel leakage rate (zero-mean across the array:
+            // junction leakage direction varies pixel to pixel).
+            droop_rate_v_per_s: 3e-4,
+            v_drain: Volt::new(2.5),
+            v_source: Volt::ZERO,
+            pelgrom: PelgromModel::cmos05um(),
+            cal_current_rel_sigma: 0.01,
+        }
+    }
+}
+
+/// One neural-recording pixel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuroPixel {
+    config: NeuroPixelConfig,
+    /// M1 with its sampled mismatch.
+    sensor: Mosfet,
+    /// Actual M2 current of this pixel (nominal + mirror mismatch).
+    cal_current_actual: Ampere,
+    /// Static injection offset of this pixel's S1.
+    injection_offset: Volt,
+    /// This pixel's droop rate (leakage polarity/magnitude varies).
+    droop_rate: f64,
+    /// Stored gate voltage (None until first calibration).
+    stored_gate: Option<Volt>,
+    /// Time of the last calibration.
+    cal_time: Seconds,
+}
+
+impl NeuroPixel {
+    /// Instantiates a pixel, sampling its device mismatch from `rng`.
+    pub fn sample<R: Rng>(config: NeuroPixelConfig, rng: &mut R) -> Self {
+        let mut g = GaussianSampler::new();
+        let sensor = config
+            .pelgrom
+            .instantiate(config.sensor_fet.clone(), rng);
+        let cal_err = config.cal_current_rel_sigma * g.sample(rng);
+        let injection_offset = config.injection_sigma * g.sample(rng);
+        let droop_rate = config.droop_rate_v_per_s * g.sample(rng);
+        Self {
+            cal_current_actual: config.cal_current * (1.0 + cal_err),
+            injection_offset,
+            droop_rate,
+            stored_gate: None,
+            cal_time: Seconds::ZERO,
+            sensor,
+            config,
+        }
+    }
+
+    /// A mismatch-free pixel (for reference measurements).
+    pub fn nominal(config: NeuroPixelConfig) -> Self {
+        Self {
+            sensor: Mosfet::new(config.sensor_fet.clone()),
+            cal_current_actual: config.cal_current,
+            injection_offset: Volt::ZERO,
+            droop_rate: 0.0,
+            stored_gate: None,
+            cal_time: Seconds::ZERO,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NeuroPixelConfig {
+        &self.config
+    }
+
+    /// Whether this pixel has been calibrated at least once.
+    pub fn is_calibrated(&self) -> bool {
+        self.stored_gate.is_some()
+    }
+
+    /// This pixel's sensor transistor (with its mismatch).
+    pub fn sensor(&self) -> &Mosfet {
+        &self.sensor
+    }
+
+    /// Performs the S1/M2 calibration at absolute time `now`: the gate is
+    /// driven to the voltage where M1 conducts exactly M2's current, then
+    /// S1 opens and injects this pixel's static charge-injection offset.
+    pub fn calibrate(&mut self, now: Seconds) {
+        let vg = self
+            .sensor
+            .gate_voltage_for_current(
+                self.cal_current_actual,
+                self.config.v_source,
+                self.config.v_drain,
+                Volt::ZERO,
+                Volt::new(5.0),
+            )
+            .expect("calibration current within device range");
+        self.stored_gate = Some(vg + self.injection_offset);
+        self.cal_time = now;
+    }
+
+    /// Effective gate voltage at time `now` (stored value minus droop),
+    /// before signal coupling. Falls back to the *nominal* design-point
+    /// gate bias when uncalibrated — the "global bias" an uncalibrated
+    /// array would use.
+    pub fn effective_gate(&self, now: Seconds) -> Volt {
+        match self.stored_gate {
+            Some(v) => v - Volt::new(self.droop_rate * (now - self.cal_time).value().max(0.0)),
+            None => {
+                // Global gate bias: the voltage that makes a *nominal*
+                // device conduct the nominal calibration current.
+                Mosfet::new(self.config.sensor_fet.clone())
+                    .gate_voltage_for_current(
+                        self.config.cal_current,
+                        self.config.v_source,
+                        self.config.v_drain,
+                        Volt::ZERO,
+                        Volt::new(5.0),
+                    )
+                    .expect("nominal bias exists")
+            }
+        }
+    }
+
+    /// Reads the pixel at time `now` with cleft potential `v_cleft`:
+    /// returns the difference current ΔI = I_M1 − I_M2 that the regulation
+    /// loop (A, M3, M4) nulls and the column amplifier magnifies.
+    pub fn read(&self, v_cleft: Volt, now: Seconds) -> Ampere {
+        let vg = self.effective_gate(now) + v_cleft * self.config.coupling_ratio;
+        let i_m1 = self
+            .sensor
+            .drain_current(vg, self.config.v_source, self.config.v_drain);
+        i_m1 - self.cal_current_actual
+    }
+
+    /// Small-signal conversion gain ∂ΔI/∂V_cleft at the calibrated
+    /// operating point: g_m(M1) × coupling ratio.
+    pub fn conversion_gain(&self, now: Seconds) -> Siemens {
+        let vg = self.effective_gate(now);
+        self.sensor
+            .gm(vg, self.config.v_source, self.config.v_drain)
+            * self.config.coupling_ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sampled(seed: u64) -> NeuroPixel {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn calibration_nulls_the_difference_current() {
+        let mut p = sampled(1);
+        let before = p.read(Volt::ZERO, Seconds::ZERO).abs();
+        p.calibrate(Seconds::ZERO);
+        let after = p.read(Volt::ZERO, Seconds::ZERO).abs();
+        assert!(
+            after.value() < before.value() / 10.0,
+            "before {before}, after {after}"
+        );
+        // Residual only from injection offset: |ΔI| ≈ gm·offset ≲ 30 nA.
+        assert!(after.value() < 50e-9, "residual = {after}");
+    }
+
+    #[test]
+    fn uncalibrated_offsets_swamp_neural_signals() {
+        // The paper's core claim: parameter variation ≫ signal.
+        let mut offsets = Vec::new();
+        for seed in 0..64 {
+            let p = sampled(seed);
+            offsets.push(p.read(Volt::ZERO, Seconds::ZERO).value().abs());
+        }
+        offsets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_offset = offsets[32];
+        let p = sampled(999);
+        let signal = {
+            let mut q = p.clone();
+            q.calibrate(Seconds::ZERO);
+            (q.read(Volt::from_micro(100.0), Seconds::ZERO)
+                - q.read(Volt::ZERO, Seconds::ZERO))
+            .abs()
+        };
+        assert!(
+            median_offset > 5.0 * signal.value(),
+            "median offset {median_offset} vs 100 µV signal {}",
+            signal.value()
+        );
+    }
+
+    #[test]
+    fn signal_response_is_linear_in_small_signal_range() {
+        let mut p = sampled(2);
+        p.calibrate(Seconds::ZERO);
+        let base = p.read(Volt::ZERO, Seconds::ZERO);
+        let d1 = (p.read(Volt::from_micro(500.0), Seconds::ZERO) - base).value();
+        let d2 = (p.read(Volt::from_milli(1.0), Seconds::ZERO) - base).value();
+        assert!((d2 / d1 - 2.0).abs() < 0.1, "ratio = {}", d2 / d1);
+    }
+
+    #[test]
+    fn conversion_gain_predicts_small_signal_response() {
+        let mut p = sampled(3);
+        p.calibrate(Seconds::ZERO);
+        let gain = p.conversion_gain(Seconds::ZERO);
+        let base = p.read(Volt::ZERO, Seconds::ZERO);
+        let d = (p.read(Volt::from_micro(100.0), Seconds::ZERO) - base).value();
+        let predicted = gain.value() * 100e-6;
+        assert!((d - predicted).abs() / predicted < 0.05, "d {d} vs {predicted}");
+    }
+
+    #[test]
+    fn droop_degrades_stored_calibration() {
+        // Across many pixels the zero-input spread grows as stored
+        // calibrations leak, and recalibration restores it.
+        let mut rng = SmallRng::seed_from_u64(41);
+        let mut pixels: Vec<NeuroPixel> = (0..256)
+            .map(|_| NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng))
+            .collect();
+        for p in &mut pixels {
+            p.calibrate(Seconds::ZERO);
+        }
+        let spread = |pixels: &[NeuroPixel], now: Seconds| -> f64 {
+            let v: Vec<f64> = pixels.iter().map(|p| p.read(Volt::ZERO, now).value()).collect();
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        let fresh = spread(&pixels, Seconds::ZERO);
+        let stale = spread(&pixels, Seconds::new(10.0));
+        assert!(stale > 2.0 * fresh, "fresh {fresh}, 10 s stale {stale}");
+        // Recalibration restores the fresh spread.
+        for p in &mut pixels {
+            p.calibrate(Seconds::new(10.0));
+        }
+        let recal = spread(&pixels, Seconds::new(10.0));
+        assert!(recal < 1.1 * fresh, "recal {recal} vs fresh {fresh}");
+    }
+
+    #[test]
+    fn different_pixels_calibrate_to_same_current() {
+        // "all sensor transistors M1 within a row provide the same current
+        // when selected independent of their individual device parameters"
+        // — up to injection residual and M2 mirror mismatch.
+        let mut currents = Vec::new();
+        for seed in 0..32 {
+            let mut p = sampled(seed);
+            p.calibrate(Seconds::ZERO);
+            let vg = p.effective_gate(Seconds::ZERO);
+            let i_m1 = p
+                .sensor
+                .drain_current(vg, p.config().v_source, p.config().v_drain);
+            currents.push(i_m1.value());
+        }
+        let mean = currents.iter().sum::<f64>() / currents.len() as f64;
+        let sd = (currents.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / currents.len() as f64)
+            .sqrt();
+        // Residual spread ≲ 1 % (M2 mismatch dominated), versus the tens of
+        // percent an uncalibrated array shows.
+        assert!(sd / mean < 0.02, "calibrated spread = {}", sd / mean);
+    }
+
+    #[test]
+    fn nominal_pixel_reads_zero_after_calibration() {
+        let mut p = NeuroPixel::nominal(NeuroPixelConfig::default());
+        p.calibrate(Seconds::ZERO);
+        let r = p.read(Volt::ZERO, Seconds::ZERO).abs();
+        assert!(r.value() < 1e-12, "nominal residual = {r}");
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let a = sampled(7);
+        let b = sampled(7);
+        assert_eq!(a, b);
+    }
+}

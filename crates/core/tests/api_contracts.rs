@@ -1,0 +1,93 @@
+//! API-guideline conformance contracts (C-SEND-SYNC, C-DEBUG,
+//! C-DEBUG-NONEMPTY, C-COMMON-TRAITS) for the chip crate's public surface.
+
+use bsa_core::array::{ArrayGeometry, PixelAddress};
+use bsa_core::dna_chip::{
+    ConversionResult, DnaChip, DnaChipConfig, DnaPixel, DnaPixelConfig, PixelReading, SampleMix,
+};
+use bsa_core::neuro_chip::{
+    ChainConfig, ChannelChain, NeuroChip, NeuroChipConfig, NeuroPixel, NeuroPixelConfig,
+    Recording, ScanTiming,
+};
+use bsa_core::ChipError;
+
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_clone_debug<T: Clone + std::fmt::Debug>() {}
+
+#[test]
+fn public_types_are_send_sync() {
+    assert_send_sync::<DnaChip>();
+    assert_send_sync::<NeuroChip>();
+    assert_send_sync::<DnaChipConfig>();
+    assert_send_sync::<NeuroChipConfig>();
+    assert_send_sync::<DnaPixel>();
+    assert_send_sync::<NeuroPixel>();
+    assert_send_sync::<ChannelChain>();
+    assert_send_sync::<Recording>();
+    assert_send_sync::<ChipError>();
+    assert_send_sync::<SampleMix>();
+}
+
+#[test]
+fn public_types_are_clone_debug() {
+    assert_clone_debug::<DnaChip>();
+    assert_clone_debug::<NeuroChip>();
+    assert_clone_debug::<DnaPixelConfig>();
+    assert_clone_debug::<NeuroPixelConfig>();
+    assert_clone_debug::<ChainConfig>();
+    assert_clone_debug::<ScanTiming>();
+    assert_clone_debug::<PixelReading>();
+    assert_clone_debug::<ConversionResult>();
+}
+
+#[test]
+fn debug_representations_are_nonempty() {
+    let geometry = ArrayGeometry::dna_16x8();
+    assert!(!format!("{geometry:?}").is_empty());
+    let addr = PixelAddress::new(1, 2);
+    assert!(!format!("{addr:?}").is_empty());
+    let cfg = DnaChipConfig::default();
+    assert!(format!("{cfg:?}").contains("DnaChipConfig"));
+    let cfg = NeuroChipConfig::default();
+    assert!(format!("{cfg:?}").contains("NeuroChipConfig"));
+}
+
+#[test]
+fn default_configs_construct_valid_chips() {
+    assert!(DnaChip::new(DnaChipConfig::default()).is_ok());
+    assert!(NeuroChip::new(NeuroChipConfig::default()).is_ok());
+}
+
+#[test]
+fn errors_display_lowercase_without_trailing_period() {
+    let e = ChipError::AddressOutOfRange {
+        row: 1,
+        col: 2,
+        rows: 8,
+        cols: 16,
+    };
+    let msg = e.to_string();
+    assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+    assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("pixel"));
+}
+
+#[test]
+fn chips_can_move_across_threads() {
+    let chip = DnaChip::new(DnaChipConfig::default()).unwrap();
+    let handle = std::thread::spawn(move || chip.geometry().len());
+    assert_eq!(handle.join().unwrap(), 128);
+
+    let chip = NeuroChip::new(NeuroChipConfig::default()).unwrap();
+    let handle = std::thread::spawn(move || chip.timing().channels);
+    assert_eq!(handle.join().unwrap(), 16);
+}
+
+#[test]
+fn configs_roundtrip_through_clone_equality() {
+    let a = DnaChipConfig::default();
+    let b = a.clone();
+    assert_eq!(a, b);
+    let a = NeuroChipConfig::default();
+    let b = a.clone();
+    assert_eq!(a, b);
+}

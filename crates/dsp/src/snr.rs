@@ -1,0 +1,103 @@
+//! Signal-to-noise estimation.
+
+use crate::stats::mad_sigma;
+
+/// RMS of a slice (0 for an empty slice).
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+    }
+}
+
+/// Peak SNR of events in a series: the mean |peak| of the samples at
+/// `event_indices` over the robust noise σ of the remaining samples.
+///
+/// Returns `None` if there are no events or fewer than 8 noise samples.
+pub fn peak_snr(series: &[f64], event_indices: &[usize]) -> Option<f64> {
+    if event_indices.is_empty() {
+        return None;
+    }
+    let is_event: Vec<bool> = {
+        let mut v = vec![false; series.len()];
+        for &i in event_indices {
+            // Blank ±2 samples around each event from the noise estimate.
+            let window = i.saturating_sub(2)..(i + 3).min(series.len());
+            v[window].fill(true);
+        }
+        v
+    };
+    let noise: Vec<f64> = series
+        .iter()
+        .zip(is_event.iter())
+        .filter(|(_, &e)| !e)
+        .map(|(x, _)| *x)
+        .collect();
+    if noise.len() < 8 {
+        return None;
+    }
+    let sigma = mad_sigma(&noise).max(1e-30);
+    let peak_mean: f64 = event_indices
+        .iter()
+        .filter(|&&i| i < series.len())
+        .map(|&i| series[i].abs())
+        .sum::<f64>()
+        / event_indices.len() as f64;
+    Some(peak_mean / sigma)
+}
+
+/// SNR in dB from a linear ratio.
+pub fn to_db(ratio: f64) -> f64 {
+    20.0 * ratio.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rms_basics() {
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(rms(&[3.0]), 3.0);
+        assert!((rms(&[1.0, -1.0, 1.0, -1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snr_of_clean_events() {
+        // Four-level deterministic noise (non-degenerate MAD) + 10× spikes.
+        let cycle = [1.0, -1.0, 0.5, -0.5];
+        let mut series: Vec<f64> = (0..200).map(|k| cycle[k % 4]).collect();
+        series[50] = 10.0;
+        series[150] = -10.0;
+        let snr = peak_snr(&series, &[50, 150]).unwrap();
+        // MAD of the cycle: median |x| = 0.75 → σ ≈ 1.11; SNR ≈ 9.
+        assert!(snr > 5.0 && snr < 15.0, "snr = {snr}");
+    }
+
+    #[test]
+    fn snr_none_without_events_or_noise() {
+        let series = vec![0.0; 100];
+        assert!(peak_snr(&series, &[]).is_none());
+        assert!(peak_snr(&series[..5], &[0]).is_none());
+    }
+
+    #[test]
+    fn event_blanking_keeps_noise_estimate_clean() {
+        // Huge events must not inflate the noise floor.
+        let mut series: Vec<f64> =
+            (0..400).map(|k| if k % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        for i in (20..400).step_by(40) {
+            series[i] = 50.0;
+        }
+        let events: Vec<usize> = (20..400).step_by(40).collect();
+        let snr = peak_snr(&series, &events).unwrap();
+        assert!(snr > 200.0, "snr = {snr}");
+    }
+
+    #[test]
+    fn db_conversion() {
+        assert_eq!(to_db(10.0), 20.0);
+        assert!((to_db(2.0) - 6.0206).abs() < 1e-3);
+    }
+}

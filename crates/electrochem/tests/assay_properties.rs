@@ -1,0 +1,129 @@
+//! Property-based tests of the assay physics.
+
+use bsa_electrochem::assay::{AssayConditions, SpottedSite};
+use bsa_electrochem::enzyme::EnzymeLabel;
+use bsa_electrochem::redox::RedoxCyclingModel;
+use bsa_electrochem::sequence::{Base, DnaSequence};
+use bsa_units::{Molar, Seconds, SquareMeter};
+use proptest::prelude::*;
+
+fn arb_base() -> impl Strategy<Value = Base> {
+    prop_oneof![
+        Just(Base::A),
+        Just(Base::C),
+        Just(Base::G),
+        Just(Base::T)
+    ]
+}
+
+fn arb_sequence(lo: usize, hi: usize) -> impl Strategy<Value = DnaSequence> {
+    prop::collection::vec(arb_base(), lo..=hi).prop_map(DnaSequence::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The full protocol never produces coverage outside [0, yield].
+    #[test]
+    fn protocol_coverage_bounded(
+        probe in arb_sequence(15, 40),
+        mismatches in 0usize..8,
+        log_c in -12.0f64..-5.0,
+        stringency in 1.0f64..500.0,
+    ) {
+        let mismatches = mismatches.min(probe.len());
+        let target = probe.reverse_complement().with_mismatches(mismatches);
+        let cond = AssayConditions {
+            wash_stringency: stringency,
+            ..AssayConditions::default()
+        };
+        let site = SpottedSite::new(probe);
+        let r = site.run(&target, Molar::new(10f64.powf(log_c)), &cond);
+        prop_assert!(r.final_coverage >= 0.0);
+        prop_assert!(r.final_coverage <= cond.immobilization_yield + 1e-12);
+        prop_assert!(r.final_coverage <= r.coverage_after_hybridization + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&r.wash_loss()));
+    }
+
+    /// Washing harder never increases retained coverage.
+    #[test]
+    fn wash_is_monotone_in_stringency(
+        probe in arb_sequence(18, 25),
+        mm in 0usize..3,
+        s1 in 1.0f64..200.0,
+        s2 in 1.0f64..200.0,
+    ) {
+        prop_assume!((s1 - s2).abs() > 1e-6);
+        let (gentle, harsh) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+        let target = probe.reverse_complement().with_mismatches(mm.min(probe.len()));
+        let site = SpottedSite::new(probe);
+        let run = |stringency: f64| {
+            let cond = AssayConditions { wash_stringency: stringency, ..AssayConditions::default() };
+            site.run(&target, Molar::from_nano(100.0), &cond).final_coverage
+        };
+        prop_assert!(run(harsh) <= run(gentle) + 1e-12);
+    }
+
+    /// Redox current is monotone in coverage and bounded by the θ = 1 value
+    /// plus background.
+    #[test]
+    fn redox_current_bounded(theta in 0.0f64..1.0) {
+        let m = RedoxCyclingModel::default();
+        let i = m.sensor_current(theta);
+        prop_assert!(i >= m.sensor_current(0.0));
+        prop_assert!(i <= m.sensor_current(1.0));
+        prop_assert!(i.value().is_finite());
+    }
+
+    /// Redox cycling always beats the single-electrode baseline (above
+    /// background).
+    #[test]
+    fn cycling_never_loses(theta in 0.001f64..1.0) {
+        let m = RedoxCyclingModel::default();
+        let cycled = m.sensor_current(theta) - m.sensor_current(0.0);
+        let single = m.single_electrode_current(theta) - m.single_electrode_current(0.0);
+        prop_assert!(cycled.value() >= single.value());
+    }
+
+    /// Michaelis–Menten turnover is bounded by k_cat and monotone in S.
+    #[test]
+    fn enzyme_turnover_bounded(s_um in 0.0f64..1e5) {
+        let e = EnzymeLabel::default();
+        let v = e.turnover_rate(Molar::from_micro(s_um));
+        prop_assert!(v >= 0.0 && v <= e.k_cat);
+        let v2 = e.turnover_rate(Molar::from_micro(s_um * 2.0 + 1.0));
+        prop_assert!(v2 >= v);
+    }
+
+    /// Product flux scales linearly in area and coverage.
+    #[test]
+    fn flux_linearity(theta in 0.0f64..1.0, area_scale in 0.1f64..10.0) {
+        let e = EnzymeLabel::default();
+        let s = Molar::from_milli(1.0);
+        let a1 = SquareMeter::new(1e-8);
+        let a2 = SquareMeter::new(1e-8 * area_scale);
+        let f1 = e.product_flux_mol_per_s(theta, 3e15, a1, s);
+        let f2 = e.product_flux_mol_per_s(theta, 3e15, a2, s);
+        if f1 > 0.0 {
+            prop_assert!((f2 / f1 / area_scale - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Longer hybridization never reduces coverage (no wash in between).
+    #[test]
+    fn hybridization_time_monotone(
+        probe in arb_sequence(18, 25),
+        t1 in 1.0f64..1e4,
+        t2 in 1.0f64..1e4,
+    ) {
+        prop_assume!((t1 - t2).abs() > 1e-3);
+        let (short, long) = if t1 < t2 { (t1, t2) } else { (t2, t1) };
+        let target = probe.reverse_complement();
+        let model = bsa_electrochem::hybridization::HybridizationModel::default();
+        let c = Molar::from_nano(10.0);
+        let temp = bsa_units::consts::ROOM_TEMPERATURE;
+        let a = model.coverage_after(&probe, &target, c, temp, 0.0, Seconds::new(short));
+        let b = model.coverage_after(&probe, &target, c, temp, 0.0, Seconds::new(long));
+        prop_assert!(b >= a - 1e-12);
+    }
+}

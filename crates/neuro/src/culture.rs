@@ -1,0 +1,347 @@
+//! Neuron cultures on the chip surface.
+//!
+//! The 128×128 array covers 1 mm × 1 mm at 7.8 µm pitch; "typical neuron
+//! diameters are 10 µm…100 µm", so the pitch "guarantees that each cell is
+//! monitored independent of its individual position" (paper Section 3).
+//! This module places neurons on the plane, generates their spike trains,
+//! and evaluates the cleft potential under any point of the surface at any
+//! time — the input the sensor array samples.
+
+use crate::firing::FiringPattern;
+use crate::junction::{ApTemplate, CleftJunction};
+use bsa_units::{Meter, Seconds, Volt};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A cultured neuron adhering to the chip surface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CulturedNeuron {
+    /// Soma center x position.
+    pub x: Meter,
+    /// Soma center y position.
+    pub y: Meter,
+    /// Soma diameter (10–100 µm per the paper).
+    pub diameter: Meter,
+    /// Firing statistics.
+    pub pattern: FiringPattern,
+    /// Junction waveform template (already scaled by per-neuron coupling).
+    pub template: ApTemplate,
+    /// Spike times, filled by [`Culture::generate_spikes`].
+    pub spikes: Vec<Seconds>,
+}
+
+impl CulturedNeuron {
+    /// Soma radius.
+    pub fn radius(&self) -> Meter {
+        self.diameter * 0.5
+    }
+
+    /// Spatial coupling profile at distance `r` from the soma center:
+    /// 1 under the soma, Gaussian falloff (σ = radius/2) outside — the
+    /// junction signal is confined to the adhesion footprint.
+    pub fn footprint(&self, r: Meter) -> f64 {
+        let radius = self.radius().value();
+        if r.value() <= radius {
+            1.0
+        } else {
+            let d = r.value() - radius;
+            let sigma = radius * 0.5;
+            (-0.5 * (d / sigma).powi(2)).exp()
+        }
+    }
+
+    /// Cleft voltage contributed by this neuron at position `(x, y)` and
+    /// time `t`, summing over its (recent) spikes.
+    pub fn cleft_voltage_at(&self, x: Meter, y: Meter, t: Seconds) -> Volt {
+        let dx = (x - self.x).value();
+        let dy = (y - self.y).value();
+        let r = Meter::new((dx * dx + dy * dy).sqrt());
+        let w = self.footprint(r);
+        if w < 1e-6 {
+            return Volt::ZERO;
+        }
+        // Only spikes within the template window contribute; binary search
+        // for the window start keeps this O(log n + k).
+        let window = self.template.duration().value();
+        let t0 = t.value() - window;
+        let start = self.spikes.partition_point(|s| s.value() < t0);
+        let mut v = Volt::ZERO;
+        for s in &self.spikes[start..] {
+            let rel = t - *s;
+            if rel.value() < -window {
+                break;
+            }
+            v += self.template.sample_at(rel);
+        }
+        v * w
+    }
+}
+
+/// A population of neurons over a rectangular chip surface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Culture {
+    width: Meter,
+    height: Meter,
+    neurons: Vec<CulturedNeuron>,
+}
+
+/// Configuration for random culture generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CultureConfig {
+    /// Surface width (the paper's array: 1 mm).
+    pub width: Meter,
+    /// Surface height (1 mm).
+    pub height: Meter,
+    /// Number of neurons to place.
+    pub neuron_count: usize,
+    /// Minimum soma diameter.
+    pub min_diameter: Meter,
+    /// Maximum soma diameter.
+    pub max_diameter: Meter,
+    /// Mean Poisson firing rate (Hz) of the population.
+    pub mean_rate_hz: f64,
+    /// Fraction of bursting (vs. Poisson) units.
+    pub bursting_fraction: f64,
+    /// Mean junction-coupling factor relative to the nominal 60 nm-cleft
+    /// template (tighter adhesion ⇒ larger; the paper's amplitude window
+    /// spans roughly 0.3× … 13× the nominal template).
+    pub coupling_mean: f64,
+    /// Relative per-neuron coupling spread around the mean.
+    pub coupling_spread: f64,
+}
+
+impl Default for CultureConfig {
+    /// The paper's setting: 1 mm² surface, neurons of 10–100 µm.
+    fn default() -> Self {
+        Self {
+            width: Meter::from_milli(1.0),
+            height: Meter::from_milli(1.0),
+            neuron_count: 20,
+            min_diameter: Meter::from_micro(10.0),
+            max_diameter: Meter::from_micro(100.0),
+            mean_rate_hz: 5.0,
+            bursting_fraction: 0.3,
+            coupling_mean: 2.0,
+            coupling_spread: 0.5,
+        }
+    }
+}
+
+impl Culture {
+    /// Creates an empty culture over the given surface.
+    pub fn empty(width: Meter, height: Meter) -> Self {
+        Self {
+            width,
+            height,
+            neurons: Vec::new(),
+        }
+    }
+
+    /// Places neurons at random per `config`, with junction templates from
+    /// the nominal 60 nm cleft scaled by per-neuron coupling variation.
+    pub fn random<R: Rng>(config: &CultureConfig, rng: &mut R) -> Self {
+        let base_template = ApTemplate::from_hh(&CleftJunction::nominal(), Seconds::new(10e-6));
+        let mut neurons = Vec::with_capacity(config.neuron_count);
+        for _ in 0..config.neuron_count {
+            let x = Meter::new(rng.gen::<f64>() * config.width.value());
+            let y = Meter::new(rng.gen::<f64>() * config.height.value());
+            let d = config.min_diameter.value()
+                + rng.gen::<f64>() * (config.max_diameter - config.min_diameter).value();
+            let pattern = if rng.gen::<f64>() < config.bursting_fraction {
+                FiringPattern::Bursting {
+                    burst_rate_hz: config.mean_rate_hz / 5.0,
+                    spikes_per_burst: 5,
+                    intra_burst_hz: 100.0,
+                }
+            } else {
+                FiringPattern::Poisson {
+                    rate_hz: config.mean_rate_hz,
+                }
+            };
+            // Coupling factor in mean·[1−spread, 1+spread].
+            let coupling =
+                config.coupling_mean * (1.0 + config.coupling_spread * (2.0 * rng.gen::<f64>() - 1.0));
+            neurons.push(CulturedNeuron {
+                x,
+                y,
+                diameter: Meter::new(d),
+                pattern,
+                template: base_template.clone().scaled(coupling.max(0.05)),
+                spikes: Vec::new(),
+            });
+        }
+        Self {
+            width: config.width,
+            height: config.height,
+            neurons,
+        }
+    }
+
+    /// Adds a neuron.
+    pub fn push(&mut self, neuron: CulturedNeuron) {
+        self.neurons.push(neuron);
+    }
+
+    /// The neurons.
+    pub fn neurons(&self) -> &[CulturedNeuron] {
+        &self.neurons
+    }
+
+    /// Surface width.
+    pub fn width(&self) -> Meter {
+        self.width
+    }
+
+    /// Surface height.
+    pub fn height(&self) -> Meter {
+        self.height
+    }
+
+    /// Generates spike trains for all neurons over `[0, duration)`.
+    pub fn generate_spikes<R: Rng>(&mut self, duration: Seconds, rng: &mut R) {
+        for n in &mut self.neurons {
+            n.spikes = n.pattern.generate(duration, rng);
+        }
+    }
+
+    /// Total cleft voltage at surface position `(x, y)` and time `t`.
+    pub fn cleft_voltage_at(&self, x: Meter, y: Meter, t: Seconds) -> Volt {
+        self.neurons
+            .iter()
+            .map(|n| n.cleft_voltage_at(x, y, t))
+            .sum()
+    }
+
+    /// Total number of spikes across the culture.
+    pub fn total_spikes(&self) -> usize {
+        self.neurons.iter().map(|n| n.spikes.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn one_neuron_culture() -> Culture {
+        let template = ApTemplate::from_hh(&CleftJunction::nominal(), Seconds::new(10e-6));
+        let mut c = Culture::empty(Meter::from_milli(1.0), Meter::from_milli(1.0));
+        c.push(CulturedNeuron {
+            x: Meter::from_micro(500.0),
+            y: Meter::from_micro(500.0),
+            diameter: Meter::from_micro(40.0),
+            pattern: FiringPattern::Regular {
+                rate_hz: 10.0,
+                phase: 0.0,
+                jitter_s: 0.0,
+            },
+            template,
+            spikes: vec![Seconds::from_milli(50.0)],
+        });
+        c
+    }
+
+    #[test]
+    fn signal_present_under_soma_at_spike_time() {
+        let c = one_neuron_culture();
+        let v = c.cleft_voltage_at(
+            Meter::from_micro(500.0),
+            Meter::from_micro(500.0),
+            Seconds::from_milli(50.3),
+        );
+        assert!(v.abs().value() > 20e-6, "v = {v}");
+    }
+
+    #[test]
+    fn signal_absent_far_away_or_at_other_times() {
+        let c = one_neuron_culture();
+        // Far corner.
+        let v_far = c.cleft_voltage_at(
+            Meter::from_micro(50.0),
+            Meter::from_micro(50.0),
+            Seconds::from_milli(50.3),
+        );
+        assert_eq!(v_far, Volt::ZERO);
+        // Before the spike.
+        let v_before = c.cleft_voltage_at(
+            Meter::from_micro(500.0),
+            Meter::from_micro(500.0),
+            Seconds::from_milli(40.0),
+        );
+        assert_eq!(v_before, Volt::ZERO);
+    }
+
+    #[test]
+    fn footprint_is_flat_inside_and_decays_outside() {
+        let c = one_neuron_culture();
+        let n = &c.neurons()[0];
+        assert_eq!(n.footprint(Meter::ZERO), 1.0);
+        assert_eq!(n.footprint(Meter::from_micro(19.0)), 1.0);
+        let just_out = n.footprint(Meter::from_micro(25.0));
+        let far_out = n.footprint(Meter::from_micro(40.0));
+        assert!(just_out < 1.0 && just_out > far_out);
+    }
+
+    #[test]
+    fn random_culture_places_all_neurons_on_surface() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let cfg = CultureConfig::default();
+        let c = Culture::random(&cfg, &mut rng);
+        assert_eq!(c.neurons().len(), cfg.neuron_count);
+        for n in c.neurons() {
+            assert!(n.x.value() >= 0.0 && n.x <= cfg.width);
+            assert!(n.y.value() >= 0.0 && n.y <= cfg.height);
+            assert!(n.diameter >= cfg.min_diameter && n.diameter <= cfg.max_diameter);
+        }
+    }
+
+    #[test]
+    fn generate_spikes_fills_trains() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let mut c = Culture::random(&CultureConfig::default(), &mut rng);
+        assert_eq!(c.total_spikes(), 0);
+        c.generate_spikes(Seconds::new(2.0), &mut rng);
+        assert!(c.total_spikes() > 10, "spikes = {}", c.total_spikes());
+    }
+
+    #[test]
+    fn culture_generation_is_seed_deterministic() {
+        let cfg = CultureConfig::default();
+        let mut r1 = SmallRng::seed_from_u64(7);
+        let mut r2 = SmallRng::seed_from_u64(7);
+        let mut c1 = Culture::random(&cfg, &mut r1);
+        let mut c2 = Culture::random(&cfg, &mut r2);
+        c1.generate_spikes(Seconds::new(1.0), &mut r1);
+        c2.generate_spikes(Seconds::new(1.0), &mut r2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn overlapping_neurons_superpose() {
+        let template = ApTemplate::from_hh(&CleftJunction::nominal(), Seconds::new(10e-6));
+        let mut c = Culture::empty(Meter::from_milli(1.0), Meter::from_milli(1.0));
+        for _ in 0..2 {
+            c.push(CulturedNeuron {
+                x: Meter::from_micro(500.0),
+                y: Meter::from_micro(500.0),
+                diameter: Meter::from_micro(40.0),
+                pattern: FiringPattern::Silent,
+                template: template.clone(),
+                spikes: vec![Seconds::from_milli(10.0)],
+            });
+        }
+        let v2 = c.cleft_voltage_at(
+            Meter::from_micro(500.0),
+            Meter::from_micro(500.0),
+            Seconds::from_milli(10.3),
+        );
+        let single = one_neuron_culture();
+        let v1 = single.cleft_voltage_at(
+            Meter::from_micro(500.0),
+            Meter::from_micro(500.0),
+            Seconds::from_milli(50.3),
+        );
+        assert!((v2.value() / v1.value() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,362 @@
+//! Hodgkin–Huxley membrane model.
+//!
+//! The classic squid-axon formulation in its standard parameterization
+//! (voltages in mV relative to rest, currents in µA/cm², time in ms). The
+//! model provides both the membrane voltage (whose ~100 mV spikes are the
+//! "temporal peaks of the intracellular voltage" of paper Section 3) and
+//! the individual ionic and capacitive membrane current densities that
+//! drive the cell–chip junction.
+
+use bsa_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Hodgkin–Huxley parameters (standard 1952 values, 6.3 °C).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HhParams {
+    /// Membrane capacitance in µF/cm².
+    pub c_m: f64,
+    /// Sodium conductance maximum in mS/cm².
+    pub g_na: f64,
+    /// Potassium conductance maximum in mS/cm².
+    pub g_k: f64,
+    /// Leak conductance in mS/cm².
+    pub g_l: f64,
+    /// Sodium reversal potential in mV.
+    pub e_na: f64,
+    /// Potassium reversal potential in mV.
+    pub e_k: f64,
+    /// Leak reversal potential in mV.
+    pub e_l: f64,
+}
+
+impl Default for HhParams {
+    fn default() -> Self {
+        Self {
+            c_m: 1.0,
+            g_na: 120.0,
+            g_k: 36.0,
+            g_l: 0.3,
+            e_na: 50.0,
+            e_k: -77.0,
+            e_l: -54.387,
+        }
+    }
+}
+
+/// Hodgkin–Huxley state, integrated with fourth-order Runge–Kutta.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HodgkinHuxley {
+    params: HhParams,
+    /// Membrane potential in mV.
+    v: f64,
+    m: f64,
+    h: f64,
+    n: f64,
+    /// Previous step's membrane potential, for spike-onset detection.
+    v_prev: f64,
+    above_threshold: bool,
+}
+
+/// Per-step outputs of the HH integration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HhStep {
+    /// Membrane potential in mV.
+    pub v_mv: f64,
+    /// Total ionic current density (Na + K + leak) in µA/cm², outward
+    /// positive.
+    pub ionic_ua_per_cm2: f64,
+    /// Capacitive current density C_m·dV/dt in µA/cm².
+    pub capacitive_ua_per_cm2: f64,
+    /// `true` on the step where the upstroke crosses 0 mV.
+    pub spike_onset: bool,
+}
+
+impl Default for HodgkinHuxley {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HodgkinHuxley {
+    /// Creates a model at its resting state with default parameters.
+    pub fn new() -> Self {
+        Self::with_params(HhParams::default())
+    }
+
+    /// Creates a model with custom parameters, initialized at rest.
+    pub fn with_params(params: HhParams) -> Self {
+        let v = -65.0;
+        Self {
+            m: Self::m_inf(v),
+            h: Self::h_inf(v),
+            n: Self::n_inf(v),
+            v,
+            v_prev: v,
+            above_threshold: false,
+            params,
+        }
+    }
+
+    /// Present membrane potential in mV.
+    pub fn voltage_mv(&self) -> f64 {
+        self.v
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &HhParams {
+        &self.params
+    }
+
+    fn alpha_m(v: f64) -> f64 {
+        let x = v + 40.0;
+        if x.abs() < 1e-7 {
+            1.0
+        } else {
+            0.1 * x / (1.0 - (-x / 10.0).exp())
+        }
+    }
+
+    fn beta_m(v: f64) -> f64 {
+        4.0 * (-(v + 65.0) / 18.0).exp()
+    }
+
+    fn alpha_h(v: f64) -> f64 {
+        0.07 * (-(v + 65.0) / 20.0).exp()
+    }
+
+    fn beta_h(v: f64) -> f64 {
+        1.0 / (1.0 + (-(v + 35.0) / 10.0).exp())
+    }
+
+    fn alpha_n(v: f64) -> f64 {
+        let x = v + 55.0;
+        if x.abs() < 1e-7 {
+            0.1
+        } else {
+            0.01 * x / (1.0 - (-x / 10.0).exp())
+        }
+    }
+
+    fn beta_n(v: f64) -> f64 {
+        0.125 * (-(v + 65.0) / 80.0).exp()
+    }
+
+    fn m_inf(v: f64) -> f64 {
+        let a = Self::alpha_m(v);
+        a / (a + Self::beta_m(v))
+    }
+
+    fn h_inf(v: f64) -> f64 {
+        let a = Self::alpha_h(v);
+        a / (a + Self::beta_h(v))
+    }
+
+    fn n_inf(v: f64) -> f64 {
+        let a = Self::alpha_n(v);
+        a / (a + Self::beta_n(v))
+    }
+
+    /// Ionic current density at state `(v, m, h, n)`, outward positive.
+    fn ionic(&self, v: f64, m: f64, h: f64, n: f64) -> f64 {
+        let p = &self.params;
+        p.g_na * m.powi(3) * h * (v - p.e_na)
+            + p.g_k * n.powi(4) * (v - p.e_k)
+            + p.g_l * (v - p.e_l)
+    }
+
+    fn derivatives(&self, v: f64, m: f64, h: f64, n: f64, i_stim: f64) -> (f64, f64, f64, f64) {
+        let dv = (i_stim - self.ionic(v, m, h, n)) / self.params.c_m;
+        let dm = Self::alpha_m(v) * (1.0 - m) - Self::beta_m(v) * m;
+        let dh = Self::alpha_h(v) * (1.0 - h) - Self::beta_h(v) * h;
+        let dn = Self::alpha_n(v) * (1.0 - n) - Self::beta_n(v) * n;
+        (dv, dm, dh, dn)
+    }
+
+    /// Advances the model by `dt` under stimulus current density
+    /// `i_stim_ua_per_cm2` (inward positive), using one RK4 step.
+    pub fn step(&mut self, i_stim_ua_per_cm2: f64, dt: Seconds) -> HhStep {
+        let dt_ms = dt.value() * 1e3;
+        let (v0, m0, h0, n0) = (self.v, self.m, self.h, self.n);
+
+        let k1 = self.derivatives(v0, m0, h0, n0, i_stim_ua_per_cm2);
+        let k2 = self.derivatives(
+            v0 + 0.5 * dt_ms * k1.0,
+            m0 + 0.5 * dt_ms * k1.1,
+            h0 + 0.5 * dt_ms * k1.2,
+            n0 + 0.5 * dt_ms * k1.3,
+            i_stim_ua_per_cm2,
+        );
+        let k3 = self.derivatives(
+            v0 + 0.5 * dt_ms * k2.0,
+            m0 + 0.5 * dt_ms * k2.1,
+            h0 + 0.5 * dt_ms * k2.2,
+            n0 + 0.5 * dt_ms * k2.3,
+            i_stim_ua_per_cm2,
+        );
+        let k4 = self.derivatives(
+            v0 + dt_ms * k3.0,
+            m0 + dt_ms * k3.1,
+            h0 + dt_ms * k3.2,
+            n0 + dt_ms * k3.3,
+            i_stim_ua_per_cm2,
+        );
+
+        self.v_prev = self.v;
+        self.v = v0 + dt_ms / 6.0 * (k1.0 + 2.0 * k2.0 + 2.0 * k3.0 + k4.0);
+        self.m = (m0 + dt_ms / 6.0 * (k1.1 + 2.0 * k2.1 + 2.0 * k3.1 + k4.1)).clamp(0.0, 1.0);
+        self.h = (h0 + dt_ms / 6.0 * (k1.2 + 2.0 * k2.2 + 2.0 * k3.2 + k4.2)).clamp(0.0, 1.0);
+        self.n = (n0 + dt_ms / 6.0 * (k1.3 + 2.0 * k2.3 + 2.0 * k3.3 + k4.3)).clamp(0.0, 1.0);
+
+        let spike_onset = !self.above_threshold && self.v > 0.0;
+        if self.v > 0.0 {
+            self.above_threshold = true;
+        } else if self.v < -30.0 {
+            self.above_threshold = false;
+        }
+
+        let ionic = self.ionic(self.v, self.m, self.h, self.n);
+        let capacitive = self.params.c_m * (self.v - self.v_prev) / dt_ms;
+        HhStep {
+            v_mv: self.v,
+            ionic_ua_per_cm2: ionic,
+            capacitive_ua_per_cm2: capacitive,
+            spike_onset,
+        }
+    }
+
+    /// Runs the model for `duration` with a constant stimulus, returning
+    /// the membrane-voltage trace (mV) sampled at `dt`.
+    pub fn run(&mut self, i_stim_ua_per_cm2: f64, dt: Seconds, duration: Seconds) -> Vec<f64> {
+        let steps = (duration.value() / dt.value()).round() as usize;
+        (0..steps)
+            .map(|_| self.step(i_stim_ua_per_cm2, dt).v_mv)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: Seconds = Seconds::new(10e-6);
+
+    #[test]
+    fn rests_near_minus_65() {
+        let mut n = HodgkinHuxley::new();
+        let trace = n.run(0.0, DT, Seconds::from_milli(50.0));
+        let last = *trace.last().unwrap();
+        assert!((last + 65.0).abs() < 1.5, "rest = {last} mV");
+    }
+
+    #[test]
+    fn suprathreshold_pulse_fires_full_spike() {
+        let mut n = HodgkinHuxley::new();
+        n.run(0.0, DT, Seconds::from_milli(20.0));
+        let mut peak = f64::MIN;
+        let mut fired = false;
+        for k in 0..5000 {
+            let stim = if k < 100 { 20.0 } else { 0.0 };
+            let s = n.step(stim, DT);
+            peak = peak.max(s.v_mv);
+            fired |= s.spike_onset;
+        }
+        assert!(fired);
+        assert!(peak > 20.0, "spike peak = {peak} mV");
+        // Spike height ~100 mV from rest.
+        assert!(peak - (-65.0) > 80.0);
+    }
+
+    #[test]
+    fn subthreshold_pulse_does_not_fire() {
+        let mut n = HodgkinHuxley::new();
+        n.run(0.0, DT, Seconds::from_milli(20.0));
+        let mut fired = false;
+        for k in 0..5000 {
+            let stim = if k < 100 { 1.0 } else { 0.0 };
+            fired |= n.step(stim, DT).spike_onset;
+        }
+        assert!(!fired);
+    }
+
+    #[test]
+    fn sustained_current_fires_repetitively() {
+        let mut n = HodgkinHuxley::new();
+        n.run(0.0, DT, Seconds::from_milli(20.0));
+        let mut spikes = 0;
+        for _ in 0..100_000 {
+            if n.step(10.0, DT).spike_onset {
+                spikes += 1;
+            }
+        }
+        // 1 s of 10 µA/cm²: tonic firing at tens of Hz.
+        assert!((20..120).contains(&spikes), "spikes = {spikes}");
+    }
+
+    #[test]
+    fn refractoriness_blocks_immediate_second_spike() {
+        let mut n = HodgkinHuxley::new();
+        n.run(0.0, DT, Seconds::from_milli(20.0));
+        // First pulse fires.
+        let mut fired1 = false;
+        for k in 0..200 {
+            let stim = if k < 100 { 20.0 } else { 0.0 };
+            fired1 |= n.step(stim, DT).spike_onset;
+        }
+        // Second identical pulse 2 ms later lands in the refractory period.
+        let mut fired2 = false;
+        for k in 0..200 {
+            let stim = if k < 100 { 20.0 } else { 0.0 };
+            fired2 |= n.step(stim, DT).spike_onset;
+        }
+        assert!(fired1);
+        assert!(!fired2, "second pulse must be blocked by refractoriness");
+    }
+
+    #[test]
+    fn spike_width_is_milliseconds() {
+        let mut n = HodgkinHuxley::new();
+        n.run(0.0, DT, Seconds::from_milli(20.0));
+        let mut above = 0usize;
+        for k in 0..5000 {
+            let stim = if k < 100 { 20.0 } else { 0.0 };
+            if n.step(stim, DT).v_mv > -20.0 {
+                above += 1;
+            }
+        }
+        let width_ms = above as f64 * DT.value() * 1e3;
+        assert!((0.3..3.0).contains(&width_ms), "width = {width_ms} ms");
+    }
+
+    #[test]
+    fn membrane_currents_balance_capacitive_plus_ionic() {
+        // With zero stimulus, C·dV/dt = −I_ionic: the two outputs must sum
+        // to ~0 at every step.
+        let mut n = HodgkinHuxley::new();
+        n.run(0.0, DT, Seconds::from_milli(5.0));
+        for _ in 0..1000 {
+            let s = n.step(0.0, DT);
+            let sum = s.capacitive_ua_per_cm2 + s.ionic_ua_per_cm2;
+            assert!(sum.abs() < 1.0, "current balance violated: {sum}");
+        }
+    }
+
+    #[test]
+    fn gating_variables_stay_in_unit_interval() {
+        let mut n = HodgkinHuxley::new();
+        for k in 0..20_000 {
+            let stim = if k % 3000 < 100 { 25.0 } else { 0.0 };
+            n.step(stim, DT);
+            assert!((0.0..=1.0).contains(&n.m));
+            assert!((0.0..=1.0).contains(&n.h));
+            assert!((0.0..=1.0).contains(&n.n));
+            assert!(n.v.is_finite());
+        }
+    }
+
+    #[test]
+    fn alpha_functions_are_finite_at_singularities() {
+        assert!(HodgkinHuxley::alpha_m(-40.0).is_finite());
+        assert!(HodgkinHuxley::alpha_n(-55.0).is_finite());
+        assert!((HodgkinHuxley::alpha_m(-40.0) - 1.0).abs() < 0.01);
+    }
+}

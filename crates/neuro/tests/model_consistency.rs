@@ -1,0 +1,88 @@
+//! Cross-model consistency: the three point-neuron models and the
+//! junction agree on the qualitative physiology the chip relies on.
+
+use bsa_neuro::hh::HodgkinHuxley;
+use bsa_neuro::izhikevich::{Izhikevich, IzhikevichParams};
+use bsa_neuro::junction::{ApTemplate, CleftJunction};
+use bsa_neuro::lif::{Lif, LifParams};
+use bsa_units::{Meter, Seconds};
+
+/// Spikes per second of an HH neuron under constant drive.
+fn hh_rate(drive: f64) -> f64 {
+    let mut n = HodgkinHuxley::new();
+    let dt = Seconds::new(25e-6);
+    // Settle.
+    for _ in 0..4000 {
+        n.step(0.0, dt);
+    }
+    let steps = 40_000; // 1 s
+    let spikes = (0..steps).filter(|_| n.step(drive, dt).spike_onset).count();
+    spikes as f64
+}
+
+#[test]
+fn all_models_show_threshold_behaviour() {
+    // Sub- vs supra-threshold drive separates quiet from firing in every
+    // model.
+    assert_eq!(hh_rate(1.0), 0.0);
+    assert!(hh_rate(12.0) > 10.0);
+
+    let mut lif = Lif::new(LifParams::default());
+    let quiet = (0..50_000).filter(|_| lif.step(0.05, Seconds::new(1e-4))).count();
+    assert_eq!(quiet, 0);
+    let mut lif = Lif::new(LifParams::default());
+    let firing = (0..50_000).filter(|_| lif.step(0.5, Seconds::new(1e-4))).count();
+    assert!(firing > 10);
+
+    let mut izh = Izhikevich::new(IzhikevichParams::regular_spiking());
+    assert!(izh.run(1.0, Seconds::new(0.5e-3), Seconds::new(1.0)).is_empty());
+    let mut izh = Izhikevich::new(IzhikevichParams::regular_spiking());
+    assert!(!izh.run(10.0, Seconds::new(0.5e-3), Seconds::new(1.0)).is_empty());
+}
+
+#[test]
+fn all_models_rate_increases_with_drive() {
+    assert!(hh_rate(20.0) > hh_rate(8.0));
+
+    let lif = Lif::new(LifParams::default());
+    assert!(lif.rate_for(0.5) > lif.rate_for(0.25));
+
+    let r1 = Izhikevich::new(IzhikevichParams::regular_spiking())
+        .run(6.0, Seconds::new(0.5e-3), Seconds::new(1.0))
+        .len();
+    let r2 = Izhikevich::new(IzhikevichParams::regular_spiking())
+        .run(14.0, Seconds::new(0.5e-3), Seconds::new(1.0))
+        .len();
+    assert!(r2 > r1);
+}
+
+#[test]
+fn junction_amplitude_scales_with_every_knob_the_right_way() {
+    let dt = Seconds::new(10e-6);
+    let amp = |h_nm: f64, r_um: f64, mu: f64| {
+        let j = CleftJunction::new(Meter::from_nano(h_nm), Meter::from_micro(r_um), 0.7)
+            .unwrap()
+            .with_channel_density_ratio(mu);
+        ApTemplate::from_hh(&j, dt).amplitude().value()
+    };
+    let nominal = amp(60.0, 10.0, 0.3);
+    assert!(amp(30.0, 10.0, 0.3) > nominal, "tighter cleft → bigger");
+    assert!(amp(60.0, 20.0, 0.3) > nominal, "bigger contact → bigger");
+    assert!(amp(60.0, 10.0, 0.0) > nominal, "more channel asymmetry → bigger");
+    // µ = 1: uniform cell, no signal (the classic null result).
+    assert!(amp(60.0, 10.0, 1.0) < nominal / 50.0, "uniform cell ≈ silent");
+}
+
+#[test]
+fn hh_spike_shape_drives_a_millisecond_junction_transient() {
+    let j = CleftJunction::nominal();
+    let t = ApTemplate::from_hh(&j, Seconds::new(10e-6));
+    // The transient is over within the 8 ms template.
+    assert!(t.duration().value() <= 8.1e-3);
+    // Most of the energy sits within ±2 ms of the upstroke.
+    let within: f64 = (-200..200)
+        .map(|k| t.sample_at(Seconds::new(k as f64 * 1e-5)).value().powi(2))
+        .sum();
+    let total: f64 = t.samples().iter().map(|v| v.value().powi(2)).sum();
+    assert!(within / total > 0.5, "energy concentration = {}", within / total);
+}

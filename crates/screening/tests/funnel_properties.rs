@@ -1,0 +1,91 @@
+//! Property-based tests of the screening funnel.
+
+use bsa_screening::compound::CompoundLibrary;
+use bsa_screening::pipeline::Pipeline;
+use bsa_screening::stage::{Stage, StageKind};
+use proptest::prelude::*;
+
+fn arb_stage(kind: StageKind) -> impl Strategy<Value = Stage> {
+    (
+        1.0f64..1e5,
+        0.01f64..1e6,
+        0.5f64..1.0,
+        0.0f64..0.1,
+    )
+        .prop_map(move |(dpd, cpd, sens, fpr)| Stage {
+            kind,
+            datapoints_per_day: dpd,
+            cost_per_datapoint: cpd,
+            sensitivity: sens,
+            false_positive_rate: fpr,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The funnel never grows, regardless of stage parameters.
+    #[test]
+    fn funnel_never_grows(
+        s1 in arb_stage(StageKind::Molecular),
+        s2 in arb_stage(StageKind::CellBased),
+        seed in 0u64..1000,
+    ) {
+        let library = CompoundLibrary::generate(5000, 1e-3, seed);
+        let report = Pipeline::new(vec![s1, s2]).run(&library, seed);
+        let mut last = library.len();
+        for stage in &report.stages {
+            prop_assert_eq!(stage.input_count, last);
+            prop_assert!(stage.survivors <= stage.input_count);
+            prop_assert!(stage.true_actives_surviving <= stage.survivors);
+            last = stage.survivors;
+        }
+        prop_assert_eq!(report.final_candidates.len(), last);
+    }
+
+    /// Cost and time are exactly the per-stage sums and scale with input.
+    #[test]
+    fn accounting_is_consistent(
+        s in arb_stage(StageKind::AnimalTests),
+        seed in 0u64..1000,
+    ) {
+        let library = CompoundLibrary::generate(2000, 1e-2, seed);
+        let report = Pipeline::new(vec![s.clone()]).run(&library, seed);
+        let stage = &report.stages[0];
+        prop_assert!((stage.cost - 2000.0 * s.cost_per_datapoint).abs() < 1e-6);
+        prop_assert!((stage.days - 2000.0 / s.datapoints_per_day).abs() < 1e-9);
+        prop_assert!((report.total_cost() - stage.cost).abs() < 1e-9);
+    }
+
+    /// True hits never exceed the library's true actives, and the final
+    /// candidates never contain more actives than survived each stage.
+    #[test]
+    fn hit_bookkeeping(seed in 0u64..500) {
+        let library = CompoundLibrary::generate(20_000, 5e-4, seed);
+        let report = Pipeline::classic().run(&library, seed);
+        prop_assert!(report.true_hits() <= library.true_active_count());
+        for stage in &report.stages {
+            prop_assert!(stage.true_actives_surviving <= library.true_active_count());
+        }
+    }
+
+    /// With perfect sensitivity and zero false positives, survivors are
+    /// exactly the true actives after the first stage.
+    #[test]
+    fn ideal_stage_is_a_perfect_filter(seed in 0u64..500) {
+        let library = CompoundLibrary::generate(5000, 1e-2, seed);
+        let ideal = Stage {
+            kind: StageKind::Molecular,
+            datapoints_per_day: 1000.0,
+            cost_per_datapoint: 1.0,
+            sensitivity: 1.0,
+            false_positive_rate: 0.0,
+        };
+        let report = Pipeline::new(vec![ideal]).run(&library, seed);
+        let s = &report.stages[0];
+        prop_assert_eq!(s.survivors, s.true_actives_surviving);
+        // potency^0.5 < 1 means even sensitivity 1.0 misses weak actives;
+        // survivors is therefore ≤ the library's actives.
+        prop_assert!(s.survivors <= library.true_active_count());
+    }
+}

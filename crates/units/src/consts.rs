@@ -1,0 +1,55 @@
+//! Physical constants used across the simulation stack.
+
+use crate::{Kelvin, Volt};
+
+/// Boltzmann constant in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge in coulombs.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Faraday constant in C/mol.
+pub const FARADAY: f64 = 96_485.332_12;
+
+/// Molar gas constant in J/(mol·K).
+pub const GAS_CONSTANT: f64 = 8.314_462_618;
+
+/// Avogadro constant in 1/mol.
+pub const AVOGADRO: f64 = 6.022_140_76e23;
+
+/// Standard simulation temperature: 300 K.
+pub const ROOM_TEMPERATURE: Kelvin = Kelvin::new(300.0);
+
+/// Physiological temperature: 310 K (37 °C), used for cell-based assays.
+pub const BODY_TEMPERATURE: Kelvin = Kelvin::new(310.0);
+
+/// Thermal voltage kT/q at the given temperature.
+///
+/// # Examples
+///
+/// ```
+/// use bsa_units::consts::{thermal_voltage, ROOM_TEMPERATURE};
+/// let ut = thermal_voltage(ROOM_TEMPERATURE);
+/// assert!((ut.as_milli() - 25.85).abs() < 0.05);
+/// ```
+pub fn thermal_voltage(t: Kelvin) -> Volt {
+    Volt::new(BOLTZMANN * t.value() / ELEMENTARY_CHARGE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        let ut = thermal_voltage(ROOM_TEMPERATURE);
+        assert!((ut.value() - 0.025852).abs() < 1e-5);
+    }
+
+    #[test]
+    fn thermal_voltage_scales_linearly() {
+        let a = thermal_voltage(Kelvin::new(300.0));
+        let b = thermal_voltage(Kelvin::new(600.0));
+        assert!((b.value() / a.value() - 2.0).abs() < 1e-12);
+    }
+}

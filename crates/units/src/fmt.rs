@@ -1,0 +1,163 @@
+//! Engineering-notation formatting shared by all quantity types.
+
+/// Formats `value` in engineering notation (exponent a multiple of three)
+/// with an SI prefix and the given unit `symbol`.
+///
+/// The mantissa is printed with up to four significant digits, trailing
+/// zeros trimmed. Values outside the atto–peta prefix range fall back to
+/// scientific notation. Non-finite values print as `inf`/`-inf`/`NaN` with
+/// the symbol appended.
+///
+/// # Examples
+///
+/// ```
+/// use bsa_units::format_eng;
+///
+/// assert_eq!(format_eng(1.0e-12, "A"), "1 pA");
+/// assert_eq!(format_eng(2.34e-7, "A"), "234 nA");
+/// assert_eq!(format_eng(0.0, "V"), "0 V");
+/// assert_eq!(format_eng(-5.6e3, "Hz"), "-5.6 kHz");
+/// ```
+pub fn format_eng(value: f64, symbol: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {symbol}");
+    }
+    if value.is_nan() {
+        return format!("NaN {symbol}");
+    }
+    if value.is_infinite() {
+        return if value > 0.0 {
+            format!("inf {symbol}")
+        } else {
+            format!("-inf {symbol}")
+        };
+    }
+
+    let exp = value.abs().log10().floor() as i32;
+    // Exponent snapped down to a multiple of 3.
+    let eng_exp = (exp.div_euclid(3)) * 3;
+    match prefix_for_exp(eng_exp) {
+        Some(prefix) => {
+            let mantissa = value / 10f64.powi(eng_exp);
+            let m = round_sig(mantissa, 4);
+            // Rounding may carry the mantissa to 1000; renormalize.
+            if m.abs() >= 1000.0 {
+                if let Some(p2) = prefix_for_exp(eng_exp + 3) {
+                    return format!("{} {}{}", trim(m / 1000.0), p2, symbol);
+                }
+            }
+            format!("{} {}{}", trim(m), prefix, symbol)
+        }
+        None => format!("{value:.3e} {symbol}"),
+    }
+}
+
+/// SI prefix for an exponent that is a multiple of three, if in range.
+fn prefix_for_exp(eng_exp: i32) -> Option<&'static str> {
+    Some(match eng_exp {
+        -18 => "a",
+        -15 => "f",
+        -12 => "p",
+        -9 => "n",
+        -6 => "µ",
+        -3 => "m",
+        0 => "",
+        3 => "k",
+        6 => "M",
+        9 => "G",
+        12 => "T",
+        15 => "P",
+        _ => return None,
+    })
+}
+
+/// Parses an SI prefix character back to its power of ten.
+pub(crate) fn exp_for_prefix(prefix: &str) -> Option<i32> {
+    Some(match prefix {
+        "a" => -18,
+        "f" => -15,
+        "p" => -12,
+        "n" => -9,
+        "µ" | "u" => -6,
+        "m" => -3,
+        "" => 0,
+        "k" => 3,
+        "M" => 6,
+        "G" => 9,
+        "T" => 12,
+        "P" => 15,
+        _ => return None,
+    })
+}
+
+fn round_sig(x: f64, sig: u32) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let d = (sig as i32 - 1) - x.abs().log10().floor() as i32;
+    let factor = 10f64.powi(d);
+    (x * factor).round() / factor
+}
+
+fn trim(x: f64) -> String {
+    let s = format!("{x}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero() {
+        assert_eq!(format_eng(0.0, "A"), "0 A");
+    }
+
+    #[test]
+    fn exact_prefixes() {
+        assert_eq!(format_eng(1e-15, "F"), "1 fF");
+        assert_eq!(format_eng(1e-12, "A"), "1 pA");
+        assert_eq!(format_eng(1e-9, "A"), "1 nA");
+        assert_eq!(format_eng(1e-6, "V"), "1 µV");
+        assert_eq!(format_eng(1e-3, "V"), "1 mV");
+        assert_eq!(format_eng(1.0, "V"), "1 V");
+        assert_eq!(format_eng(1e3, "Hz"), "1 kHz");
+        assert_eq!(format_eng(1e6, "Hz"), "1 MHz");
+    }
+
+    #[test]
+    fn negative_values() {
+        assert_eq!(format_eng(-2.5e-3, "V"), "-2.5 mV");
+    }
+
+    #[test]
+    fn mantissa_rounding_carry() {
+        // 999.96 rounds (4 sig digits) to 1000 → must renormalize to 1 k.
+        assert_eq!(format_eng(999.96, "Hz"), "1 kHz");
+    }
+
+    #[test]
+    fn four_significant_digits() {
+        assert_eq!(format_eng(1.23456e-9, "A"), "1.235 nA");
+        assert_eq!(format_eng(123.456e-9, "A"), "123.5 nA");
+    }
+
+    #[test]
+    fn out_of_prefix_range_falls_back_to_scientific() {
+        let s = format_eng(1e20, "Hz");
+        assert!(s.contains('e'), "{s}");
+    }
+
+    #[test]
+    fn non_finite() {
+        assert_eq!(format_eng(f64::INFINITY, "V"), "inf V");
+        assert_eq!(format_eng(f64::NEG_INFINITY, "V"), "-inf V");
+        assert_eq!(format_eng(f64::NAN, "V"), "NaN V");
+    }
+
+    #[test]
+    fn subnormal_boundaries() {
+        assert_eq!(format_eng(999.4e-12, "A"), "999.4 pA");
+        assert_eq!(format_eng(1000.0e-12, "A"), "1 nA");
+    }
+}

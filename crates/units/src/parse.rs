@@ -1,0 +1,168 @@
+//! Parsing of engineering-notation quantity strings.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a quantity string cannot be parsed.
+///
+/// Produced by [`parse_eng`] and the `FromStr` impls of all quantity types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQuantityError {
+    input: String,
+    reason: ParseErrorReason,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorReason {
+    Empty,
+    BadNumber,
+    BadSuffix,
+}
+
+impl ParseQuantityError {
+    fn new(input: &str, reason: ParseErrorReason) -> Self {
+        Self {
+            input: input.to_owned(),
+            reason,
+        }
+    }
+}
+
+impl fmt::Display for ParseQuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.reason {
+            ParseErrorReason::Empty => write!(f, "empty quantity string"),
+            ParseErrorReason::BadNumber => {
+                write!(f, "invalid numeric mantissa in {:?}", self.input)
+            }
+            ParseErrorReason::BadSuffix => {
+                write!(f, "unrecognized unit suffix in {:?}", self.input)
+            }
+        }
+    }
+}
+
+impl Error for ParseQuantityError {}
+
+/// Parses a string like `"1pA"`, `"2.5 nA"`, `"-450 µV"` or `"3e-9"` into a
+/// raw `f64` value in base units.
+///
+/// The unit `symbol` (e.g. `"A"`) is optional in the input; when present it
+/// must match. A single SI prefix character (a, f, p, n, µ/u, m, k, M, G, T,
+/// P) may precede the symbol. Whitespace between the mantissa and the suffix
+/// is ignored.
+///
+/// # Errors
+///
+/// Returns [`ParseQuantityError`] if the string is empty, the mantissa is
+/// not a valid number, or the suffix is neither empty, a valid prefix, nor
+/// `prefix + symbol`.
+///
+/// # Examples
+///
+/// ```
+/// use bsa_units::parse_eng;
+///
+/// assert_eq!(parse_eng("100 fF", "F").unwrap(), 100e-15);
+/// assert_eq!(parse_eng("2k", "Hz").unwrap(), 2000.0);
+/// assert_eq!(parse_eng("0.5", "V").unwrap(), 0.5);
+/// assert!(parse_eng("1 xA", "A").is_err());
+/// ```
+pub fn parse_eng(s: &str, symbol: &str) -> Result<f64, ParseQuantityError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(ParseQuantityError::new(s, ParseErrorReason::Empty));
+    }
+
+    // Split the trailing alphabetic/µ suffix off the numeric mantissa.
+    let split = s
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_alphabetic() || *c == 'µ' || *c == 'Ω' || *c == '²')
+        .last()
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    // A trailing exponent like "3e-9" must not be treated as a suffix: the
+    // suffix scan above stops at digits/'-' so only `e`/`E` directly at the
+    // split point with digits before it could be ambiguous; handle by trying
+    // the full string as a number first.
+    if let Ok(v) = s.parse::<f64>() {
+        return Ok(v);
+    }
+
+    let (num_part, suffix) = s.split_at(split);
+    let num: f64 = num_part
+        .trim()
+        .parse()
+        .map_err(|_| ParseQuantityError::new(s, ParseErrorReason::BadNumber))?;
+
+    let suffix = suffix.trim();
+    let prefix_str = suffix.strip_suffix(symbol).unwrap_or(suffix);
+    match crate::fmt::exp_for_prefix(prefix_str) {
+        Some(exp) => Ok(num * 10f64.powi(exp)),
+        None => Err(ParseQuantityError::new(s, ParseErrorReason::BadSuffix)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_number() {
+        assert_eq!(parse_eng("1.5", "V").unwrap(), 1.5);
+        assert_eq!(parse_eng("-2", "A").unwrap(), -2.0);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(parse_eng("3e-9", "A").unwrap(), 3e-9);
+        assert_eq!(parse_eng("1E6", "Hz").unwrap(), 1e6);
+    }
+
+    #[test]
+    fn prefix_only() {
+        assert_eq!(parse_eng("2k", "Hz").unwrap(), 2000.0);
+        assert_eq!(parse_eng("5m", "V").unwrap(), 5e-3);
+    }
+
+    #[test]
+    fn prefix_and_symbol() {
+        assert_eq!(parse_eng("1pA", "A").unwrap(), 1e-12);
+        assert!((parse_eng("100 nA", "A").unwrap() - 100e-9).abs() < 1e-18);
+        assert!((parse_eng("7.8 µm", "m").unwrap() - 7.8e-6).abs() < 1e-18);
+        assert!((parse_eng("7.8 um", "m").unwrap() - 7.8e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn symbol_only() {
+        assert_eq!(parse_eng("5V", "V").unwrap(), 5.0);
+        assert_eq!(parse_eng("5 V", "V").unwrap(), 5.0);
+    }
+
+    #[test]
+    fn ohm_symbol() {
+        assert_eq!(parse_eng("1MΩ", "Ω").unwrap(), 1e6);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_eng("", "V").is_err());
+        assert!(parse_eng("abc", "V").is_err());
+        assert!(parse_eng("1 xA", "A").is_err());
+        assert!(parse_eng("--3", "A").is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_input() {
+        let e = parse_eng("1 xA", "A").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("1 xA"), "{msg}");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ParseQuantityError>();
+    }
+}

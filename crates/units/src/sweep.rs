@@ -1,0 +1,123 @@
+//! Parameter-sweep helpers: linear and logarithmic ranges.
+//!
+//! The evaluation harness sweeps sensor currents over five decades
+//! (1 pA … 100 nA, Fig. 3 of the paper) and chip parameters over linear
+//! ranges; these helpers generate those grids deterministically.
+
+/// Returns `n` points linearly spaced over `[lo, hi]`, inclusive.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use bsa_units::sweep::linspace;
+/// assert_eq!(linspace(0.0, 1.0, 5), vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n > 0, "linspace requires at least one point");
+    if n == 1 {
+        return vec![lo];
+    }
+    let step = (hi - lo) / (n - 1) as f64;
+    (0..n).map(|i| lo + step * i as f64).collect()
+}
+
+/// Returns `n` points logarithmically spaced over `[lo, hi]`, inclusive.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, or if `lo` or `hi` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use bsa_units::sweep::logspace;
+/// let pts = logspace(1e-12, 1e-7, 6);
+/// assert_eq!(pts.len(), 6);
+/// assert!((pts[1] - 1e-11).abs() < 1e-22);
+/// ```
+pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n > 0, "logspace requires at least one point");
+    assert!(lo > 0.0 && hi > 0.0, "logspace requires positive bounds");
+    linspace(lo.log10(), hi.log10(), n)
+        .into_iter()
+        .map(|e| 10f64.powf(e))
+        .collect()
+}
+
+/// Returns points per decade over `[lo, hi]`: `per_decade` log-spaced points
+/// in each factor-of-ten interval, endpoints included.
+///
+/// # Panics
+///
+/// Panics if `per_decade == 0`, `lo <= 0`, or `hi < lo`.
+///
+/// # Examples
+///
+/// ```
+/// use bsa_units::sweep::decades;
+/// // Five decades, 1 point per decade: the classic 1 pA … 100 nA sweep.
+/// let pts = decades(1e-12, 1e-7, 1);
+/// assert_eq!(pts.len(), 6);
+/// ```
+pub fn decades(lo: f64, hi: f64, per_decade: usize) -> Vec<f64> {
+    assert!(per_decade > 0, "decades requires at least one point/decade");
+    assert!(lo > 0.0, "decades requires positive lower bound");
+    assert!(hi >= lo, "decades requires hi >= lo");
+    let n_dec = (hi / lo).log10();
+    let n = (n_dec * per_decade as f64).round() as usize + 1;
+    logspace(lo, hi, n.max(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints() {
+        let v = linspace(-1.0, 1.0, 3);
+        assert_eq!(v, vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn linspace_single_point() {
+        assert_eq!(linspace(3.0, 9.0, 1), vec![3.0]);
+    }
+
+    #[test]
+    fn logspace_is_monotone() {
+        let v = logspace(1e-12, 1e-7, 26);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert!((v[0] - 1e-12).abs() < 1e-24);
+        assert!((v[25] - 1e-7).abs() < 1e-18);
+    }
+
+    #[test]
+    fn logspace_ratio_is_constant() {
+        let v = logspace(1.0, 1000.0, 4);
+        for w in v.windows(2) {
+            assert!((w[1] / w[0] - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn decades_counts() {
+        assert_eq!(decades(1e-12, 1e-7, 5).len(), 26);
+        assert_eq!(decades(1e-12, 1e-7, 1).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bounds")]
+    fn logspace_rejects_zero() {
+        logspace(0.0, 1.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn linspace_rejects_empty() {
+        linspace(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,346 @@
+//! Concrete quantity types and their dimensional cross products.
+
+use crate::quantity::{cross_div, cross_mul, quantity};
+
+quantity! {
+    /// Electrical potential in volts.
+    ///
+    /// ```
+    /// use bsa_units::Volt;
+    /// let vdd = Volt::new(5.0); // the 0.5 µm process of the DNA chip runs at 5 V
+    /// assert_eq!(format!("{vdd}"), "5 V");
+    /// ```
+    Volt, "V"
+}
+
+quantity! {
+    /// Electrical current in amperes.
+    ///
+    /// ```
+    /// use bsa_units::Ampere;
+    /// let i = Ampere::from_pico(1.0); // bottom of the DNA sensor range
+    /// assert_eq!(format!("{i}"), "1 pA");
+    /// ```
+    Ampere, "A"
+}
+
+quantity! {
+    /// Capacitance in farads.
+    ///
+    /// ```
+    /// use bsa_units::Farad;
+    /// let c_int = Farad::from_femto(100.0);
+    /// assert_eq!(format!("{c_int}"), "100 fF");
+    /// ```
+    Farad, "F"
+}
+
+quantity! {
+    /// Resistance in ohms.
+    ///
+    /// ```
+    /// use bsa_units::Ohm;
+    /// let r_cleft = Ohm::from_mega(1.2); // cell-chip cleft seal resistance
+    /// assert_eq!(format!("{r_cleft}"), "1.2 MΩ");
+    /// ```
+    Ohm, "Ω"
+}
+
+quantity! {
+    /// Conductance (e.g. MOSFET transconductance) in siemens.
+    ///
+    /// ```
+    /// use bsa_units::Siemens;
+    /// let gm = Siemens::from_micro(50.0);
+    /// assert_eq!(format!("{gm}"), "50 µS");
+    /// ```
+    Siemens, "S"
+}
+
+quantity! {
+    /// Frequency in hertz.
+    ///
+    /// ```
+    /// use bsa_units::Hertz;
+    /// let frame_rate = Hertz::from_kilo(2.0); // neural chip full-frame rate
+    /// assert_eq!(format!("{frame_rate}"), "2 kHz");
+    /// ```
+    Hertz, "Hz"
+}
+
+quantity! {
+    /// Time in seconds.
+    ///
+    /// ```
+    /// use bsa_units::Seconds;
+    /// let ap_width = Seconds::from_milli(1.0); // typical action-potential width
+    /// assert_eq!(format!("{ap_width}"), "1 ms");
+    /// ```
+    Seconds, "s"
+}
+
+quantity! {
+    /// Electric charge in coulombs.
+    ///
+    /// ```
+    /// use bsa_units::Coulomb;
+    /// let q = Coulomb::from_femto(100.0); // one integrator ramp worth of charge
+    /// assert_eq!(format!("{q}"), "100 fC");
+    /// ```
+    Coulomb, "C"
+}
+
+quantity! {
+    /// Thermodynamic temperature in kelvin.
+    ///
+    /// ```
+    /// use bsa_units::Kelvin;
+    /// let t = Kelvin::new(300.0);
+    /// assert_eq!(format!("{t}"), "300 K");
+    /// ```
+    Kelvin, "K"
+}
+
+quantity! {
+    /// Length in meters.
+    ///
+    /// ```
+    /// use bsa_units::Meter;
+    /// let pitch = Meter::from_micro(7.8); // neural-array pixel pitch
+    /// assert_eq!(format!("{pitch}"), "7.8 µm");
+    /// ```
+    Meter, "m"
+}
+
+quantity! {
+    /// Area in square meters.
+    ///
+    /// ```
+    /// use bsa_units::{Meter, SquareMeter};
+    /// let a: SquareMeter = Meter::from_milli(1.0) * Meter::from_milli(1.0);
+    /// assert_eq!(a.value(), 1e-6); // the 1 mm × 1 mm neural sensor area
+    /// ```
+    SquareMeter, "m²"
+}
+
+quantity! {
+    /// Amount concentration in mol/L.
+    ///
+    /// ```
+    /// use bsa_units::Molar;
+    /// let target = Molar::from_nano(100.0); // hybridization target concentration
+    /// assert_eq!(format!("{target}"), "100 nM");
+    /// ```
+    Molar, "M"
+}
+
+// --- Dimensional cross products -------------------------------------------
+
+// Q = I · t, and the two divisions that invert it.
+cross_mul!(Ampere, Seconds, Coulomb);
+cross_div!(Coulomb, Seconds, Ampere);
+cross_div!(Coulomb, Ampere, Seconds);
+
+// Q = C · V, and inversions.
+cross_mul!(Farad, Volt, Coulomb);
+cross_div!(Coulomb, Farad, Volt);
+cross_div!(Coulomb, Volt, Farad);
+
+// Ohm's law.
+cross_mul!(Ampere, Ohm, Volt);
+cross_div!(Volt, Ohm, Ampere);
+cross_div!(Volt, Ampere, Ohm);
+
+// Conductance: I = G · V.
+cross_mul!(Siemens, Volt, Ampere);
+cross_div!(Ampere, Volt, Siemens);
+cross_div!(Ampere, Siemens, Volt);
+
+// Geometry (same-type product written by hand: the commuted macro form
+// would duplicate the impl).
+impl std::ops::Mul<Meter> for Meter {
+    type Output = SquareMeter;
+    #[inline]
+    fn mul(self, rhs: Meter) -> SquareMeter {
+        SquareMeter::new(self.value() * rhs.value())
+    }
+}
+cross_div!(SquareMeter, Meter, Meter);
+
+impl Seconds {
+    /// The reciprocal of a period is a frequency.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bsa_units::Seconds;
+    /// assert_eq!(Seconds::from_milli(0.5).recip().value(), 2000.0);
+    /// ```
+    #[inline]
+    pub fn recip(self) -> Hertz {
+        Hertz::new(1.0 / self.0)
+    }
+}
+
+impl Hertz {
+    /// The reciprocal of a frequency is a period.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bsa_units::Hertz;
+    /// assert_eq!(Hertz::from_kilo(2.0).recip().as_micro(), 500.0);
+    /// ```
+    #[inline]
+    pub fn recip(self) -> Seconds {
+        Seconds::new(1.0 / self.0)
+    }
+}
+
+impl Ohm {
+    /// The reciprocal of a resistance is a conductance.
+    #[inline]
+    pub fn recip(self) -> Siemens {
+        Siemens::new(1.0 / self.0)
+    }
+}
+
+impl Siemens {
+    /// The reciprocal of a conductance is a resistance.
+    #[inline]
+    pub fn recip(self) -> Ohm {
+        Ohm::new(1.0 / self.0)
+    }
+}
+
+impl std::ops::Mul<Hertz> for Seconds {
+    type Output = f64;
+    /// Elapsed cycles: dimensionless.
+    #[inline]
+    fn mul(self, rhs: Hertz) -> f64 {
+        self.0 * rhs.value()
+    }
+}
+
+impl std::ops::Mul<Seconds> for Hertz {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> f64 {
+        self.value() * rhs.0
+    }
+}
+
+/// RC time constant: τ = R · C.
+impl std::ops::Mul<Farad> for Ohm {
+    type Output = Seconds;
+    #[inline]
+    fn mul(self, rhs: Farad) -> Seconds {
+        Seconds::new(self.value() * rhs.value())
+    }
+}
+
+impl std::ops::Mul<Ohm> for Farad {
+    type Output = Seconds;
+    #[inline]
+    fn mul(self, rhs: Ohm) -> Seconds {
+        Seconds::new(self.value() * rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_roundtrip() {
+        let v = Volt::new(1.0);
+        let r = Ohm::from_kilo(10.0);
+        let i = v / r;
+        assert!((i.as_micro() - 100.0).abs() < 1e-9);
+        assert!(((i * r) - v).abs().value() < 1e-12);
+    }
+
+    #[test]
+    fn charge_relations() {
+        let c = Farad::from_femto(100.0);
+        let v = Volt::new(1.0);
+        let q = c * v;
+        assert!((q.as_femto() - 100.0).abs() < 1e-9);
+        let t = q / Ampere::from_pico(1.0);
+        assert!((t.value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rc_time_constant() {
+        let tau = Ohm::from_mega(1.0) * Farad::from_pico(1.0);
+        assert!((tau.as_micro() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_period_inverse() {
+        let f = Hertz::from_mega(4.0);
+        let t = f.recip();
+        assert!((t.as_nano() - 250.0).abs() < 1e-9);
+        assert!((t.recip() / f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimensionless_cycles() {
+        let n = Seconds::new(2.0) * Hertz::from_kilo(1.0);
+        assert_eq!(n, 2000.0);
+    }
+
+    #[test]
+    fn ordering_and_clamp() {
+        let a = Ampere::from_pico(1.0);
+        let b = Ampere::from_nano(1.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.clamp(Ampere::ZERO, a), a);
+    }
+
+    #[test]
+    fn signum_and_abs() {
+        assert_eq!(Volt::new(-2.0).abs(), Volt::new(2.0));
+        assert_eq!(Volt::new(-2.0).signum(), -1.0);
+        assert_eq!(Volt::ZERO.signum(), 0.0);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Ampere = (1..=4).map(|k| Ampere::from_nano(k as f64)).sum();
+        assert!((total.as_nano() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_constructors_roundtrip() {
+        assert!((Farad::from_femto(5.0).as_femto() - 5.0).abs() < 1e-9);
+        assert!((Ampere::from_pico(3.0).as_pico() - 3.0).abs() < 1e-9);
+        assert!((Volt::from_micro(7.0).as_micro() - 7.0).abs() < 1e-9);
+        assert_eq!(Hertz::from_kilo(2.0).value(), 2000.0);
+        assert_eq!(Hertz::from_mega(32.0).value(), 32e6);
+    }
+
+    #[test]
+    fn display_uses_unit_symbols() {
+        assert_eq!(format!("{}", Ohm::from_mega(1.0)), "1 MΩ");
+        assert_eq!(format!("{}", Molar::from_nano(10.0)), "10 nM");
+        assert_eq!(format!("{}", SquareMeter::new(1e-6)), "1 µm²");
+    }
+
+    #[test]
+    fn from_str_roundtrip() {
+        let i: Ampere = "2.5nA".parse().unwrap();
+        assert!((i.as_nano() - 2.5).abs() < 1e-12);
+        let v: Volt = "450 µV".parse().unwrap();
+        assert!((v.as_micro() - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometry_products() {
+        let area = Meter::from_micro(7.8) * Meter::from_micro(7.8);
+        assert!((area.value() - 60.84e-12).abs() < 1e-18);
+        let side = area / Meter::from_micro(7.8);
+        assert!((side.as_micro() - 7.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the quantity algebra.
+
+use bsa_units::sweep::{decades, linspace, logspace};
+use bsa_units::{Ampere, Coulomb, Farad, Hertz, Ohm, Seconds, Volt};
+use proptest::prelude::*;
+
+proptest! {
+    /// Addition/subtraction are inverse operations.
+    #[test]
+    fn add_sub_inverse(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let x = Volt::new(a);
+        let y = Volt::new(b);
+        let back = (x + y) - y;
+        prop_assert!((back - x).abs().value() <= 1e-9 * (1.0 + a.abs() + b.abs()));
+    }
+
+    /// Scalar multiplication distributes over addition.
+    #[test]
+    fn scalar_distributes(a in -1e3f64..1e3, b in -1e3f64..1e3, k in -1e3f64..1e3) {
+        let lhs = (Ampere::new(a) + Ampere::new(b)) * k;
+        let rhs = Ampere::new(a) * k + Ampere::new(b) * k;
+        prop_assert!((lhs - rhs).abs().value() < 1e-6 * (1.0 + lhs.value().abs()));
+    }
+
+    /// Q = C·V then Q/C = V and Q/V = C (for nonzero values).
+    #[test]
+    fn charge_triangle(c_ff in 0.1f64..1e6, v in 0.001f64..100.0) {
+        let c = Farad::from_femto(c_ff);
+        let vv = Volt::new(v);
+        let q: Coulomb = c * vv;
+        prop_assert!(((q / c) - vv).abs().value() < 1e-9 * v);
+        prop_assert!(((q / vv) - c).abs().value() < 1e-9 * c.value());
+    }
+
+    /// I·t = Q and the two inversions agree.
+    #[test]
+    fn current_time_triangle(i_na in 0.001f64..1e6, t_us in 0.001f64..1e6) {
+        let i = Ampere::from_nano(i_na);
+        let t = Seconds::from_micro(t_us);
+        let q = i * t;
+        prop_assert!(((q / i) - t).abs().value() < 1e-9 * t.value());
+        prop_assert!(((q / t) - i).abs().value() < 1e-9 * i.value());
+    }
+
+    /// Frequency/period reciprocity.
+    #[test]
+    fn recip_involution(f in 1e-3f64..1e9) {
+        let f = Hertz::new(f);
+        let back = f.recip().recip();
+        prop_assert!((back / f - 1.0).abs() < 1e-12);
+    }
+
+    /// Ordering agrees with raw values, and min/max bracket both operands.
+    #[test]
+    fn ordering_laws(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let x = Ohm::new(a);
+        let y = Ohm::new(b);
+        prop_assert_eq!(x < y, a < b);
+        let lo = x.min(y);
+        let hi = x.max(y);
+        prop_assert!(lo <= x && lo <= y);
+        prop_assert!(hi >= x && hi >= y);
+        prop_assert!(x.clamp(lo, hi) == x);
+    }
+
+    /// linspace covers endpoints with uniform steps.
+    #[test]
+    fn linspace_uniform(lo in -1e3f64..1e3, span in 0.001f64..1e3, n in 2usize..100) {
+        let hi = lo + span;
+        let pts = linspace(lo, hi, n);
+        prop_assert_eq!(pts.len(), n);
+        prop_assert!((pts[0] - lo).abs() < 1e-9);
+        prop_assert!((pts[n - 1] - hi).abs() < 1e-6);
+        let step = (hi - lo) / (n - 1) as f64;
+        for (k, w) in pts.windows(2).enumerate() {
+            prop_assert!(((w[1] - w[0]) - step).abs() < 1e-9 * (1.0 + step.abs()), "at {k}");
+        }
+    }
+
+    /// logspace points have a constant ratio and are monotone.
+    #[test]
+    fn logspace_constant_ratio(lo_exp in -12.0f64..0.0, decades_n in 0.5f64..10.0, n in 3usize..50) {
+        let lo = 10f64.powf(lo_exp);
+        let hi = lo * 10f64.powf(decades_n);
+        let pts = logspace(lo, hi, n);
+        let ratio = pts[1] / pts[0];
+        for w in pts.windows(2) {
+            prop_assert!((w[1] / w[0] / ratio - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// decades() endpoints match the requested range.
+    #[test]
+    fn decades_endpoints(lo_exp in -12.0f64..-1.0, n_dec in 1usize..6, per in 1usize..10) {
+        let lo = 10f64.powf(lo_exp);
+        let hi = lo * 10f64.powi(n_dec as i32);
+        let pts = decades(lo, hi, per);
+        prop_assert!((pts[0] / lo - 1.0).abs() < 1e-9);
+        prop_assert!((pts[pts.len() - 1] / hi - 1.0).abs() < 1e-9);
+        prop_assert_eq!(pts.len(), n_dec * per + 1);
+    }
+
+    /// Display + FromStr round-trips within formatting precision for every
+    /// quantity type exercised here.
+    #[test]
+    fn display_parse_roundtrip(v in 1e-13f64..1e8) {
+        let i = Ampere::new(v);
+        let parsed: Ampere = i.to_string().parse().unwrap();
+        prop_assert!((parsed.value() / v - 1.0).abs() < 1e-3);
+    }
+}

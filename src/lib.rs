@@ -1,0 +1,26 @@
+//! Umbrella crate for the *CMOS-Based Biosensor Arrays* reproduction.
+//!
+//! This crate re-exports the workspace's public API so that the examples in
+//! `examples/` and integration tests in `tests/` can exercise the system the
+//! way a downstream user would:
+//!
+//! * [`units`] — typed physical quantities (`bsa-units`).
+//! * [`circuit`] — analog/mixed-signal circuit substrate (`bsa-circuit`).
+//! * [`electrochem`] — DNA hybridization and redox-cycling electrochemistry
+//!   (`bsa-electrochem`).
+//! * [`neuro`] — neuron models and the cell–chip junction (`bsa-neuro`).
+//! * [`chips`] — the paper's two chips: the 16×8 DNA microarray and the
+//!   128×128 neural-recording array (`bsa-core`).
+//! * [`dsp`] — readout signal processing (`bsa-dsp`).
+//! * [`screening`] — the Fig. 1 drug-screening pipeline model
+//!   (`bsa-screening`).
+
+#![forbid(unsafe_code)]
+
+pub use bsa_circuit as circuit;
+pub use bsa_core as chips;
+pub use bsa_dsp as dsp;
+pub use bsa_electrochem as electrochem;
+pub use bsa_neuro as neuro;
+pub use bsa_screening as screening;
+pub use bsa_units as units;

@@ -1,0 +1,165 @@
+//! Property-based tests over the core data structures and invariants.
+
+use cmos_biosensor_arrays::chips::dna_chip::{
+    decode_frames, encode_frames, DnaPixel, DnaPixelConfig, PixelReading,
+};
+use cmos_biosensor_arrays::chips::array::PixelAddress;
+use cmos_biosensor_arrays::circuit::dac::Dac;
+use cmos_biosensor_arrays::electrochem::hybridization::HybridizationModel;
+use cmos_biosensor_arrays::electrochem::sequence::{Base, DnaSequence};
+use cmos_biosensor_arrays::units::consts::ROOM_TEMPERATURE;
+use cmos_biosensor_arrays::units::{format_eng, parse_eng, Ampere, Molar, Seconds, Volt};
+use proptest::prelude::*;
+
+fn arb_base() -> impl Strategy<Value = Base> {
+    prop_oneof![
+        Just(Base::A),
+        Just(Base::C),
+        Just(Base::G),
+        Just(Base::T)
+    ]
+}
+
+fn arb_sequence(max_len: usize) -> impl Strategy<Value = DnaSequence> {
+    prop::collection::vec(arb_base(), 1..=max_len).prop_map(DnaSequence::new)
+}
+
+proptest! {
+    #[test]
+    fn eng_format_parse_round_trip(value in -1e9f64..1e9, scale in -12i32..9) {
+        let x = value * 10f64.powi(scale);
+        let s = format_eng(x, "A");
+        let back = parse_eng(&s, "A").unwrap();
+        // Formatting keeps 4 significant digits.
+        if x != 0.0 {
+            prop_assert!(((back - x) / x).abs() < 1e-3, "{x} → {s} → {back}");
+        } else {
+            prop_assert_eq!(back, 0.0);
+        }
+    }
+
+    #[test]
+    fn quantity_arithmetic_is_consistent(a in -1e3f64..1e3, b in 0.001f64..1e3) {
+        let v = Volt::new(a);
+        let r = cmos_biosensor_arrays::units::Ohm::new(b);
+        let i = v / r;
+        prop_assert!(((i * r) - v).abs().value() < 1e-9 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn reverse_complement_involution(seq in arb_sequence(60)) {
+        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn revcomp_is_perfect_partner(seq in arb_sequence(40)) {
+        let rc = seq.reverse_complement();
+        prop_assert!(seq.is_perfect_match(&rc));
+        prop_assert_eq!(seq.mismatches_with(&rc), 0);
+    }
+
+    #[test]
+    fn mismatch_count_bounded(seq in arb_sequence(30), n in 0usize..10) {
+        let n = n.min(seq.len());
+        let mutated = seq.reverse_complement().with_mismatches(n);
+        let mm = seq.mismatches_with(&mutated);
+        // Best-alignment matching can only find fewer or equal mismatches.
+        prop_assert!(mm <= n, "asked for {n}, measured {mm}");
+    }
+
+    #[test]
+    fn coverage_always_in_unit_interval(
+        seq in arb_sequence(30),
+        n in 0usize..6,
+        log_c in -12.0f64..-3.0,
+        dt in 1.0f64..1e5,
+    ) {
+        let n = n.min(seq.len());
+        let target = seq.reverse_complement().with_mismatches(n);
+        let model = HybridizationModel::default();
+        let c = Molar::new(10f64.powf(log_c));
+        let theta = model.coverage_after(&seq, &target, c, ROOM_TEMPERATURE, 0.0, Seconds::new(dt));
+        prop_assert!((0.0..=1.0).contains(&theta), "θ = {theta}");
+    }
+
+    #[test]
+    fn converter_count_monotone_in_current(
+        exp_a in -12.0f64..-7.0,
+        exp_b in -12.0f64..-7.0,
+    ) {
+        let (lo, hi) = if exp_a < exp_b { (exp_a, exp_b) } else { (exp_b, exp_a) };
+        prop_assume!(hi - lo > 0.01);
+        let mut pixel = DnaPixel::nominal(DnaPixelConfig::default());
+        let frame = Seconds::new(10.0);
+        let c_lo = pixel.convert_ideal(Ampere::new(10f64.powf(lo)), frame);
+        let c_hi = pixel.convert_ideal(Ampere::new(10f64.powf(hi)), frame);
+        prop_assert!(c_hi >= c_lo, "count must grow with current");
+    }
+
+    #[test]
+    fn converter_estimate_inverts_within_quantization(
+        exp in -11.0f64..-7.0,
+    ) {
+        let mut pixel = DnaPixel::nominal(DnaPixelConfig::default());
+        let i = Ampere::new(10f64.powf(exp));
+        let frame = Seconds::new(10.0);
+        let count = pixel.convert_ideal(i, frame);
+        prop_assume!(count > 0);
+        let est = pixel.estimate_current(count, frame);
+        let rel = (est.value() - i.value()).abs() / i.value();
+        // ±1-count quantization bounds the error.
+        prop_assert!(rel <= 1.2 / count as f64 + 1e-6, "rel = {rel}, count = {count}");
+    }
+
+    #[test]
+    fn serial_round_trip_any_readings(
+        rows in prop::collection::vec((0usize..8, 0usize..16, 0u64..0xFF_FFFF), 0..64)
+    ) {
+        let readings: Vec<PixelReading> = rows
+            .into_iter()
+            .map(|(r, c, count)| PixelReading {
+                address: PixelAddress::new(r, c),
+                count,
+            })
+            .collect();
+        let bits = encode_frames(&readings);
+        let decoded = decode_frames(&bits).unwrap();
+        prop_assert_eq!(decoded, readings);
+    }
+
+    #[test]
+    fn ideal_dac_is_monotone(bits in 2u8..10) {
+        let dac = Dac::new(bits, Volt::ZERO, Volt::new(2.5)).unwrap();
+        let mut last = Volt::new(-1.0);
+        for code in 0..dac.codes() {
+            let v = dac.output(code);
+            prop_assert!(v > last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn dac_code_lookup_inverts_output(bits in 2u8..12, code_frac in 0.0f64..1.0) {
+        let dac = Dac::new(bits, Volt::new(0.5), Volt::new(4.5)).unwrap();
+        let code = (code_frac * (dac.codes() - 1) as f64) as u32;
+        prop_assert_eq!(dac.code_for(dac.output(code)), code);
+    }
+
+    #[test]
+    fn gc_content_in_unit_interval(seq in arb_sequence(100)) {
+        let gc = seq.gc_content();
+        prop_assert!((0.0..=1.0).contains(&gc));
+    }
+
+    #[test]
+    fn more_mismatches_never_stabilize(seq in arb_sequence(25), n in 0usize..5) {
+        let n = n.min(seq.len().saturating_sub(1));
+        let model = HybridizationModel::default();
+        let rc = seq.reverse_complement();
+        let t_n = rc.with_mismatches(n);
+        let t_n1 = rc.with_mismatches(n + 1);
+        let dg_n = model.duplex_dg_kcal(&seq, &t_n, ROOM_TEMPERATURE);
+        let dg_n1 = model.duplex_dg_kcal(&seq, &t_n1, ROOM_TEMPERATURE);
+        prop_assert!(dg_n1 >= dg_n - 1e-9, "ΔG must not drop with more mismatches");
+    }
+}

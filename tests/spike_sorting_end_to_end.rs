@@ -1,0 +1,105 @@
+//! End-to-end spike sorting: two neurons over the same pixel, recorded
+//! through the chip, detected and separated by waveform shape.
+
+use cmos_biosensor_arrays::chips::array::{ArrayGeometry, PixelAddress};
+use cmos_biosensor_arrays::chips::neuro_chip::{NeuroChip, NeuroChipConfig};
+use cmos_biosensor_arrays::dsp::frames::FrameStack;
+use cmos_biosensor_arrays::dsp::sorting::{extract_snippets, sort_spikes};
+use cmos_biosensor_arrays::dsp::spike::SpikeDetector;
+use cmos_biosensor_arrays::neuro::culture::{Culture, CulturedNeuron};
+use cmos_biosensor_arrays::neuro::firing::FiringPattern;
+use cmos_biosensor_arrays::neuro::junction::{ApTemplate, CleftJunction};
+use cmos_biosensor_arrays::units::{Meter, Seconds};
+
+/// Spike times that land their pixel sample ~150 µs after the upstroke:
+/// pixel (8, 8) of a 16×16 array samples at +250 µs within each 500 µs
+/// frame.
+fn aligned_spikes(frames: &[usize]) -> Vec<Seconds> {
+    frames
+        .iter()
+        .map(|f| Seconds::new(*f as f64 * 500e-6 + 250e-6 - 150e-6))
+        .collect()
+}
+
+#[test]
+fn two_units_on_one_pixel_are_sorted_by_amplitude() {
+    let cfg = NeuroChipConfig {
+        geometry: ArrayGeometry::new(16, 16, Meter::from_micro(7.8)).unwrap(),
+        channels: 4,
+        ..NeuroChipConfig::default()
+    };
+    let mut chip = NeuroChip::new(cfg).unwrap();
+    let (x, y) = chip.config().geometry.position_of(PixelAddress::new(8, 8));
+    let base = ApTemplate::from_hh(&CleftJunction::nominal(), Seconds::new(10e-6));
+
+    // Unit A: strongly coupled (4×); unit B: weaker (1.5×), interleaved.
+    let frames_a: Vec<usize> = (60..1000).step_by(160).collect();
+    let frames_b: Vec<usize> = (140..1000).step_by(160).collect();
+    let mut culture = Culture::empty(Meter::from_milli(1.0), Meter::from_milli(1.0));
+    for (scale, frames) in [(4.0, &frames_a), (1.5, &frames_b)] {
+        culture.push(CulturedNeuron {
+            x,
+            y,
+            diameter: Meter::from_micro(30.0),
+            pattern: FiringPattern::Silent,
+            template: base.clone().scaled(scale),
+            spikes: aligned_spikes(frames),
+        });
+    }
+
+    let n_frames = 1000; // 500 ms
+    let rec = chip.record(&culture, Seconds::ZERO, n_frames);
+    let gain = rec.nominal_voltage_gain();
+    let stack = FrameStack::new(
+        rec.geometry().rows(),
+        rec.geometry().cols(),
+        rec.frames()
+            .iter()
+            .map(|f| f.samples().iter().map(|s| s / gain).collect())
+            .collect(),
+    )
+    .detrended();
+    let series = stack.pixel_series(8, 8);
+
+    // Detect both units' spikes.
+    let detections = SpikeDetector::default().detect(&series);
+    assert!(
+        detections.len() >= frames_a.len() + frames_b.len() - 2,
+        "detections: {}",
+        detections.len()
+    );
+
+    // Sort into two units.
+    let snippets = extract_snippets(&series, &detections, 2, 4);
+    let result = sort_spikes(&snippets, 2);
+    let sizes = result.cluster_sizes(2);
+    assert!(sizes[0] > 0 && sizes[1] > 0, "both clusters populated: {sizes:?}");
+
+    // The cluster with the larger mean peak must contain unit A's frames.
+    let big_cluster = if result.centroids[0][0] > result.centroids[1][0] {
+        0
+    } else {
+        1
+    };
+    let big_spikes = result.unit_spikes(&snippets, big_cluster);
+    let hits_a = frames_a
+        .iter()
+        .filter(|f| big_spikes.iter().any(|d| d.abs_diff(**f) <= 2))
+        .count();
+    assert!(
+        hits_a >= frames_a.len() - 1,
+        "unit A frames recovered in the big cluster: {hits_a}/{}",
+        frames_a.len()
+    );
+    // And unit B's frames in the other cluster.
+    let small_spikes = result.unit_spikes(&snippets, 1 - big_cluster);
+    let hits_b = frames_b
+        .iter()
+        .filter(|f| small_spikes.iter().any(|d| d.abs_diff(**f) <= 2))
+        .count();
+    assert!(
+        hits_b >= frames_b.len() - 1,
+        "unit B frames recovered in the small cluster: {hits_b}/{}",
+        frames_b.len()
+    );
+}
