@@ -28,14 +28,10 @@ fn bench_pixel_read(c: &mut Criterion) {
     calibrated.calibrate(Seconds::ZERO);
     let uncalibrated = NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng);
     c.bench_function("f6a_read_calibrated", |b| {
-        b.iter(|| {
-            black_box(calibrated.read(black_box(Volt::from_micro(500.0)), Seconds::ZERO))
-        });
+        b.iter(|| black_box(calibrated.read(black_box(Volt::from_micro(500.0)), Seconds::ZERO)));
     });
     c.bench_function("f6a_read_uncalibrated", |b| {
-        b.iter(|| {
-            black_box(uncalibrated.read(black_box(Volt::from_micro(500.0)), Seconds::ZERO))
-        });
+        b.iter(|| black_box(uncalibrated.read(black_box(Volt::from_micro(500.0)), Seconds::ZERO)));
     });
 }
 

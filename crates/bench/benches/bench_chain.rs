@@ -77,5 +77,10 @@ fn bench_row_burst(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_process_sample, bench_calibrate, bench_row_burst);
+criterion_group!(
+    benches,
+    bench_process_sample,
+    bench_calibrate,
+    bench_row_burst
+);
 criterion_main!(benches);

@@ -44,8 +44,9 @@ fn bench_assay_and_serial(c: &mut Criterion) {
     let mut group = c.benchmark_group("f4_assay");
     group.sample_size(10);
     let mut rng = SmallRng::seed_from_u64(9);
-    let probes: Vec<DnaSequence> =
-        (0..128).map(|_| DnaSequence::random(20, &mut rng)).collect();
+    let probes: Vec<DnaSequence> = (0..128)
+        .map(|_| DnaSequence::random(20, &mut rng))
+        .collect();
     let mut chip = DnaChip::new(DnaChipConfig::default()).unwrap();
     chip.spot_all(&probes);
     chip.auto_calibrate();

@@ -28,15 +28,19 @@ fn bench_subarray_frames(c: &mut Criterion) {
     group.sample_size(10);
     let cult = culture(5);
     for (label, rows) in [("16x16", 16usize), ("32x32", 32)] {
-        group.bench_with_input(BenchmarkId::new("record_10_frames", label), &rows, |b, &rows| {
-            let cfg = NeuroChipConfig {
-                geometry: ArrayGeometry::new(rows, rows, Meter::from_micro(7.8)).unwrap(),
-                channels: 4,
-                ..NeuroChipConfig::default()
-            };
-            let mut chip = NeuroChip::new(cfg).unwrap();
-            b.iter(|| black_box(chip.record(&cult, Seconds::ZERO, 10).len()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("record_10_frames", label),
+            &rows,
+            |b, &rows| {
+                let cfg = NeuroChipConfig {
+                    geometry: ArrayGeometry::new(rows, rows, Meter::from_micro(7.8)).unwrap(),
+                    channels: 4,
+                    ..NeuroChipConfig::default()
+                };
+                let mut chip = NeuroChip::new(cfg).unwrap();
+                b.iter(|| black_box(chip.record(&cult, Seconds::ZERO, 10).len()));
+            },
+        );
     }
     group.finish();
 }

@@ -101,7 +101,11 @@ fn main() {
     println!();
 
     // Match calling.
-    let currents: Vec<f64> = readout.estimated_currents.iter().map(|a| a.value()).collect();
+    let currents: Vec<f64> = readout
+        .estimated_currents
+        .iter()
+        .map(|a| a.value())
+        .collect();
     let result = MatchCaller::default().call(&currents);
     let truth: Vec<bool> = mismatch_class.iter().map(|c| *c == 0).collect();
     let acc = CallAccuracy::of(&result.calls, &truth);
@@ -115,7 +119,10 @@ fn main() {
         acc.false_negatives,
     );
     let ratio = MatchCaller::discrimination_ratio(&currents, &truth).unwrap_or(f64::NAN);
-    println!("Discrimination ratio (median match / median non-match): {:.1e}", ratio);
+    println!(
+        "Discrimination ratio (median match / median non-match): {:.1e}",
+        ratio
+    );
     println!();
 
     // Real-time association kinetics (the electrochemical chip can watch
@@ -125,8 +132,8 @@ fn main() {
         kin_chip.spot(addr, reference.clone()).unwrap();
     }
     kin_chip.auto_calibrate();
-    let kin_sample = SampleMix::new()
-        .with_target(reference.reverse_complement(), Molar::from_nano(10.0));
+    let kin_sample =
+        SampleMix::new().with_target(reference.reverse_complement(), Molar::from_nano(10.0));
     let times: Vec<bsa_units::Seconds> = [0.0, 60.0, 300.0, 900.0, 1800.0, 3600.0]
         .iter()
         .map(|s| bsa_units::Seconds::new(*s))
@@ -149,7 +156,11 @@ fn main() {
     // Concentration series (Fig. 2's \"amount of specific DNA sequences\").
     let mut t = Table::new(
         "Dose response: perfect-match current vs target concentration",
-        &["target conc.", "median match coverage", "median match current"],
+        &[
+            "target conc.",
+            "median match coverage",
+            "median match current",
+        ],
     );
     for c_nm in [0.1, 1.0, 10.0, 100.0, 1000.0] {
         let mut chip = DnaChip::new(DnaChipConfig::default()).unwrap();
@@ -157,8 +168,8 @@ fn main() {
             chip.spot(addr, reference.clone()).unwrap();
         }
         chip.auto_calibrate();
-        let sample = SampleMix::new()
-            .with_target(reference.reverse_complement(), Molar::from_nano(c_nm));
+        let sample =
+            SampleMix::new().with_target(reference.reverse_complement(), Molar::from_nano(c_nm));
         let r = chip.run_assay(&sample);
         let cov: Vec<f64> = r.coverages.clone();
         let cur: Vec<f64> = r.estimated_currents.iter().map(|a| a.value()).collect();

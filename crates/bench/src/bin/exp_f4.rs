@@ -59,7 +59,10 @@ fn main() {
         &["code", "electrode voltage"],
     );
     for code in [0u32, 64, 128, 192, 255] {
-        t.add_row(vec![code.to_string(), format!("{}", chip.electrode_voltage(code))]);
+        t.add_row(vec![
+            code.to_string(),
+            format!("{}", chip.electrode_voltage(code)),
+        ]);
     }
     t.print();
     println!();
@@ -70,8 +73,12 @@ fn main() {
     let currents: Vec<Ampere> = (0..n)
         .map(|k| Ampere::new(ladder[k % ladder.len()]))
         .collect();
-    let counts = chip.measure_currents(&currents);
-    let estimates = chip.estimate_currents(&counts);
+    let counts = chip
+        .measure_currents(&currents)
+        .expect("one current per pixel");
+    let estimates = chip
+        .estimate_currents(&counts)
+        .expect("one count per pixel");
     let mut t = Table::new(
         "Array dynamic range: recovered vs applied current (median per decade)",
         &["applied", "median recovered", "median |rel err|"],

@@ -106,9 +106,7 @@ fn main() {
     }
     t.print();
     println!();
-    println!(
-        "Every neuron of ≥10 µm diameter covers at least one pixel at any position —"
-    );
+    println!("Every neuron of ≥10 µm diameter covers at least one pixel at any position —");
     println!("the paper's claim that the pitch monitors each cell independent of position.");
     let _ = sig(0.0, 1);
 }

@@ -92,8 +92,7 @@ fn main() {
         &["frame rate", "pixel dwell", "residual crosstalk"],
     );
     for rate_k in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
-        let timing = ScanTiming::new(geometry, Hertz::from_kilo(rate_k), 16)
-            .expect("valid timing");
+        let timing = ScanTiming::new(geometry, Hertz::from_kilo(rate_k), 16).expect("valid timing");
         // Big step, then zero: fraction of the step surviving one dwell.
         chain.reset_settling();
         let mut cfg = chain.config().clone();

@@ -58,7 +58,10 @@ fn main() {
     );
     let frames = (duration.value() * timing.frame_rate.value()).round() as usize;
     let stack = record_stack(&mut chip, &culture, frames).detrended();
-    println!("Recorded. Total culture spikes: {}.", culture.total_spikes());
+    println!(
+        "Recorded. Total culture spikes: {}.",
+        culture.total_spikes()
+    );
     println!();
 
     // (a) Localization: suprathreshold events detected per pixel — a
@@ -69,8 +72,7 @@ fn main() {
         .flat_map(|r| {
             let stack = &stack;
             let detector = &detector;
-            (0..geometry.cols())
-                .map(move |c| detector.detect(&stack.pixel_series(r, c)).len())
+            (0..geometry.cols()).map(move |c| detector.detect(&stack.pixel_series(r, c)).len())
         })
         .collect();
     let total_events: usize = event_map.iter().sum();
@@ -88,10 +90,8 @@ fn main() {
     );
     let mut localized = 0usize;
     for (k, n) in culture.neurons().iter().enumerate() {
-        let row = ((n.y.value() / geometry.pitch().value()) as usize)
-            .min(geometry.rows() - 1);
-        let col = ((n.x.value() / geometry.pitch().value()) as usize)
-            .min(geometry.cols() - 1);
+        let row = ((n.y.value() / geometry.pitch().value()) as usize).min(geometry.rows() - 1);
+        let col = ((n.x.value() / geometry.pitch().value()) as usize).min(geometry.cols() - 1);
         // Events summed over every pixel under the soma footprint — the
         // paper's claim is that *some* pixel monitors each cell.
         let reach = (n.radius().value() / geometry.pitch().value()).ceil() as i64;
@@ -100,13 +100,11 @@ fn main() {
             for dc in -reach..=reach {
                 let r = row as i64 + dr;
                 let c = col as i64 + dc;
-                if r < 0 || c < 0 || r >= geometry.rows() as i64 || c >= geometry.cols() as i64
-                {
+                if r < 0 || c < 0 || r >= geometry.rows() as i64 || c >= geometry.cols() as i64 {
                     continue;
                 }
-                let (px, py) = geometry.position_of(bsa_core::array::PixelAddress::new(
-                    r as usize, c as usize,
-                ));
+                let (px, py) = geometry
+                    .position_of(bsa_core::array::PixelAddress::new(r as usize, c as usize));
                 let dist = ((px - n.x).value().powi(2) + (py - n.y).value().powi(2)).sqrt();
                 if dist <= n.radius().value() {
                     events += event_map[r as usize * geometry.cols() + c as usize];
@@ -125,7 +123,11 @@ fn main() {
         ]);
     }
     t.print();
-    let firing = culture.neurons().iter().filter(|n| !n.spikes.is_empty()).count();
+    let firing = culture
+        .neurons()
+        .iter()
+        .filter(|n| !n.spikes.is_empty())
+        .count();
     println!();
     println!(
         "Localized {localized}/{firing} firing neurons; {active_pixels}/{} pixels saw events ({} events total).",

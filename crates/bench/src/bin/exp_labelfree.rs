@@ -27,12 +27,7 @@ fn main() {
     // (a) Signal vs coverage for the three principles.
     let mut t = Table::new(
         "Signal vs duplex coverage θ",
-        &[
-            "θ",
-            "redox current",
-            "impedance ΔC/C",
-            "FBAR Δf",
-        ],
+        &["θ", "redox current", "impedance ΔC/C", "FBAR Δf"],
     );
     for theta in [0.0001, 0.001, 0.01, 0.1, 0.5, 1.0] {
         t.add_row(vec![

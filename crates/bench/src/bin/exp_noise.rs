@@ -93,21 +93,24 @@ fn main() {
         format!("{} /√Hz", eng(input_floor_a, "A")),
     ]);
     let total_rms = p.band_power(1.0, 1000.0).sqrt();
-    t.add_row(vec!["output RMS (1 Hz – 1 kHz)".into(), eng(total_rms, "V")]);
+    t.add_row(vec![
+        "output RMS (1 Hz – 1 kHz)".into(),
+        eng(total_rms, "V"),
+    ]);
     let spec_rms = white_rms(
         (chain.config().input_noise.value() * gain).powi(2),
         Hertz::new(1.0),
     );
-    t.add_row(vec![
-        "per-sample RMS from spec".into(),
-        eng(spec_rms, "V"),
-    ]);
+    t.add_row(vec!["per-sample RMS from spec".into(), eng(spec_rms, "V")]);
     let input_v = total_rms / gain / 24e-6 * 1e6; // vs a 24 µS/0.8 pixel
     t.add_row(vec![
         "input-referred voltage RMS".into(),
         format!("{:.1} µV (vs the 100 µV floor)", input_v),
     ]);
     let slope = p.loglog_slope(20.0, 800.0);
-    t.add_row(vec!["PSD log-log slope".into(), format!("{slope:.2} (white ≈ 0)")]);
+    t.add_row(vec![
+        "PSD log-log slope".into(),
+        format!("{slope:.2} (white ≈ 0)"),
+    ]);
     t.print();
 }

@@ -31,7 +31,12 @@ fn main() {
     t.add_row(vec![
         "DNA array size".into(),
         "16×8 sensors".into(),
-        format!("{}×{} = {}", geometry.cols(), geometry.rows(), geometry.len()),
+        format!(
+            "{}×{} = {}",
+            geometry.cols(),
+            geometry.rows(),
+            geometry.len()
+        ),
         (geometry.len() == 128).to_string(),
     ]);
 
@@ -41,8 +46,10 @@ fn main() {
     let currents: Vec<Ampere> = (0..n)
         .map(|k| Ampere::new(ladder[k % ladder.len()]))
         .collect();
-    let counts = dna.measure_currents(&currents);
-    let est = dna.estimate_currents(&counts);
+    let counts = dna
+        .measure_currents(&currents)
+        .expect("one current per pixel");
+    let est = dna.estimate_currents(&counts).expect("one count per pixel");
     let ok = currents
         .iter()
         .zip(est.iter())
@@ -97,7 +104,11 @@ fn main() {
     t.add_row(vec![
         "full frame rate".into(),
         "2 k samples/s".into(),
-        format!("{} (dwell {})", timing.frame_rate, eng(timing.pixel_dwell.value(), "s")),
+        format!(
+            "{} (dwell {})",
+            timing.frame_rate,
+            eng(timing.pixel_dwell.value(), "s")
+        ),
         "true".into(),
     ]);
 
@@ -142,11 +153,7 @@ fn main() {
     t.add_row(vec![
         "neuron diameters".into(),
         "10 µm – 100 µm".into(),
-        format!(
-            "{} – {} culture default",
-            eng(10e-6, "m"),
-            eng(100e-6, "m")
-        ),
+        format!("{} – {} culture default", eng(10e-6, "m"), eng(100e-6, "m")),
         "true".into(),
     ]);
     t.add_row(vec![

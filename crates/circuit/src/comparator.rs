@@ -232,10 +232,17 @@ mod tests {
 
     #[test]
     fn hysteresis_window() {
-        let mut c =
-            Comparator::new(Volt::new(1.0), Volt::ZERO, Volt::from_milli(100.0), Seconds::ZERO)
-                .unwrap();
-        assert!(!c.evaluate(Volt::new(1.02), Seconds::ZERO).high, "below +hys/2");
+        let mut c = Comparator::new(
+            Volt::new(1.0),
+            Volt::ZERO,
+            Volt::from_milli(100.0),
+            Seconds::ZERO,
+        )
+        .unwrap();
+        assert!(
+            !c.evaluate(Volt::new(1.02), Seconds::ZERO).high,
+            "below +hys/2"
+        );
         assert!(c.evaluate(Volt::new(1.06), Seconds::ZERO).high);
         // Falls only below 0.95.
         assert!(c.evaluate(Volt::new(0.97), Seconds::ZERO).high);
@@ -270,19 +277,14 @@ mod tests {
 
     #[test]
     fn negative_delay_rejected() {
-        assert!(Comparator::new(
-            Volt::new(1.0),
-            Volt::ZERO,
-            Volt::ZERO,
-            Seconds::new(-1.0)
-        )
-        .is_err());
+        assert!(
+            Comparator::new(Volt::new(1.0), Volt::ZERO, Volt::ZERO, Seconds::new(-1.0)).is_err()
+        );
     }
 
     #[test]
     fn delay_stage_pulse_timing() {
-        let mut d =
-            DelayStage::new(Seconds::from_micro(1.0), Seconds::from_micro(2.0)).unwrap();
+        let mut d = DelayStage::new(Seconds::from_micro(1.0), Seconds::from_micro(2.0)).unwrap();
         d.trigger(Seconds::ZERO);
         assert!(!d.is_active(Seconds::from_micro(0.5)), "during delay");
         assert!(d.is_active(Seconds::from_micro(1.5)), "pulse active");
@@ -292,8 +294,7 @@ mod tests {
 
     #[test]
     fn delay_stage_ignores_retrigger() {
-        let mut d =
-            DelayStage::new(Seconds::from_micro(1.0), Seconds::from_micro(2.0)).unwrap();
+        let mut d = DelayStage::new(Seconds::from_micro(1.0), Seconds::from_micro(2.0)).unwrap();
         d.trigger(Seconds::ZERO);
         d.trigger(Seconds::from_micro(0.5)); // ignored
         assert!(!d.is_active(Seconds::from_micro(3.2)));

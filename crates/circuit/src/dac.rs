@@ -173,7 +173,10 @@ mod tests {
             .with_element_mismatch(0.01, &mut rng);
         let inl = d.max_inl();
         assert!(inl > 0.0, "mismatch must produce nonzero INL");
-        assert!(inl < 4.0, "1 % elements keep INL within a few LSB, got {inl}");
+        assert!(
+            inl < 4.0,
+            "1 % elements keep INL within a few LSB, got {inl}"
+        );
     }
 
     #[test]

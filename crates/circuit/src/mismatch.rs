@@ -151,7 +151,10 @@ mod tests {
         let sigma = var.sqrt();
         let expected = m.sigma_vth(area).value();
         assert!(mean.abs() < expected * 0.05, "mean = {mean}");
-        assert!((sigma - expected).abs() / expected < 0.05, "sigma = {sigma}");
+        assert!(
+            (sigma - expected).abs() / expected < 0.05,
+            "sigma = {sigma}"
+        );
     }
 
     #[test]

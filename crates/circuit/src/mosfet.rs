@@ -450,7 +450,13 @@ mod tests {
         let m = nominal().with_mismatch(Volt::from_milli(-7.3), 0.01);
         let target = Ampere::from_micro(5.0);
         let vg = m
-            .gate_voltage_for_current(target, Volt::ZERO, Volt::new(2.5), Volt::ZERO, Volt::new(5.0))
+            .gate_voltage_for_current(
+                target,
+                Volt::ZERO,
+                Volt::new(2.5),
+                Volt::ZERO,
+                Volt::new(5.0),
+            )
             .expect("bracketed");
         let i = m.drain_current(vg, Volt::ZERO, Volt::new(2.5));
         assert!((i.value() - target.value()).abs() / target.value() < 1e-9);

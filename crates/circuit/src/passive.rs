@@ -302,8 +302,12 @@ mod tests {
 
     #[test]
     fn current_source_output_resistance() {
-        let s = CurrentSource::new(Ampere::from_micro(1.0), Ohm::from_mega(10.0), Volt::new(0.3))
-            .unwrap();
+        let s = CurrentSource::new(
+            Ampere::from_micro(1.0),
+            Ohm::from_mega(10.0),
+            Volt::new(0.3),
+        )
+        .unwrap();
         let i1 = s.current_at(Volt::new(1.0));
         let i2 = s.current_at(Volt::new(2.0));
         // 1 V more across 10 MΩ: +100 nA.
@@ -312,8 +316,12 @@ mod tests {
 
     #[test]
     fn current_source_compliance_collapse() {
-        let s = CurrentSource::new(Ampere::from_micro(1.0), Ohm::from_mega(10.0), Volt::new(0.3))
-            .unwrap();
+        let s = CurrentSource::new(
+            Ampere::from_micro(1.0),
+            Ohm::from_mega(10.0),
+            Volt::new(0.3),
+        )
+        .unwrap();
         assert_eq!(s.current_at(Volt::ZERO), Ampere::ZERO);
         let half = s.current_at(Volt::new(0.15));
         assert!((half.value() - 0.5e-6).abs() < 1e-12);

@@ -218,8 +218,14 @@ mod tests {
     #[test]
     fn bandgap_curvature_is_second_order() {
         let bg = BandgapReference::typical_5v();
-        let dv10 = (bg.output(Kelvin::new(310.0), Volt::new(5.0)) - bg.output(Kelvin::new(300.0), Volt::new(5.0))).value().abs();
-        let dv20 = (bg.output(Kelvin::new(320.0), Volt::new(5.0)) - bg.output(Kelvin::new(300.0), Volt::new(5.0))).value().abs();
+        let dv10 = (bg.output(Kelvin::new(310.0), Volt::new(5.0))
+            - bg.output(Kelvin::new(300.0), Volt::new(5.0)))
+        .value()
+        .abs();
+        let dv20 = (bg.output(Kelvin::new(320.0), Volt::new(5.0))
+            - bg.output(Kelvin::new(300.0), Volt::new(5.0)))
+        .value()
+        .abs();
         assert!((dv20 / dv10 - 4.0).abs() < 1e-6, "quadratic in ΔT");
     }
 
@@ -277,21 +283,23 @@ mod tests {
     fn reference_tree_spread_matches_pelgrom() {
         let pel = PelgromModel::cmos05um();
         let mut rng = SmallRng::seed_from_u64(12);
-        let tree =
-            CurrentReferenceTree::new(Ampere::from_micro(10.0), 4000, &pel, 25.0, &mut rng)
-                .unwrap();
+        let tree = CurrentReferenceTree::new(Ampere::from_micro(10.0), 4000, &pel, 25.0, &mut rng)
+            .unwrap();
         assert_eq!(tree.len(), 4000);
         let spread = tree.relative_spread();
         let expected = pel.sigma_beta_rel(25.0) * std::f64::consts::SQRT_2;
-        assert!((spread - expected).abs() / expected < 0.1, "spread = {spread}");
+        assert!(
+            (spread - expected).abs() / expected < 0.1,
+            "spread = {spread}"
+        );
     }
 
     #[test]
     fn reference_tree_branches_are_stable() {
         let pel = PelgromModel::cmos05um();
         let mut rng = SmallRng::seed_from_u64(13);
-        let tree = CurrentReferenceTree::new(Ampere::from_micro(1.0), 8, &pel, 25.0, &mut rng)
-            .unwrap();
+        let tree =
+            CurrentReferenceTree::new(Ampere::from_micro(1.0), 8, &pel, 25.0, &mut rng).unwrap();
         // Same branch read twice gives the same current (static mismatch).
         assert_eq!(tree.branch(3), tree.branch(3));
         assert!(!tree.is_empty());

@@ -107,7 +107,10 @@ impl Waveform {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
         }
     }
 
@@ -200,8 +203,11 @@ mod tests {
     use super::*;
 
     fn ramp() -> Waveform {
-        Waveform::from_samples(Seconds::from_micro(1.0), (0..=10).map(|k| k as f64).collect())
-            .unwrap()
+        Waveform::from_samples(
+            Seconds::from_micro(1.0),
+            (0..=10).map(|k| k as f64).collect(),
+        )
+        .unwrap()
     }
 
     #[test]

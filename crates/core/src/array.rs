@@ -203,10 +203,7 @@ mod tests {
     fn scan_order_is_row_major() {
         let g = ArrayGeometry::new(2, 3, Meter::from_micro(1.0)).unwrap();
         let order: Vec<(usize, usize)> = g.iter().map(|a| (a.row, a.col)).collect();
-        assert_eq!(
-            order,
-            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
-        );
+        assert_eq!(order, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
     }
 
     #[test]

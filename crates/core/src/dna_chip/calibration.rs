@@ -72,6 +72,46 @@ impl CalibrationReport {
 }
 
 impl GainCalibration {
+    /// Escalated settings for retrying pixels that failed first-pass
+    /// calibration: an 8× reference current (additive defects such as
+    /// electrode leakage weigh proportionally less), a 4× integration
+    /// window (more counts, less shot noise) and a squared — i.e.
+    /// relaxed — out-of-family limit.
+    pub fn escalated(&self) -> Self {
+        Self {
+            i_ref: self.i_ref * 8.0,
+            frame_time: self.frame_time * 4.0,
+            dead_pixel_limit: self.dead_pixel_limit.powi(2),
+        }
+    }
+
+    /// Retries one pixel with these (typically [`escalated`](Self::escalated))
+    /// settings. The pixel is probed at two currents an octave-and-a-half
+    /// apart: a pixel whose count does not scale with its input (stuck
+    /// counter, stuck comparator, open electrode) is unrecoverable. If the
+    /// response scales and the required correction lies within
+    /// `dead_pixel_limit`, the correction is stored and returned.
+    pub fn retry_pixel<R: Rng>(&self, pixel: &mut DnaPixel, rng: &mut R) -> Option<f64> {
+        pixel.set_gain_correction(1.0);
+        let c_lo = pixel
+            .convert(self.i_ref * 0.125, self.frame_time, rng)
+            .count;
+        let c_hi = pixel.convert(self.i_ref, self.frame_time, rng).count;
+        if c_hi == 0 || c_hi < c_lo.saturating_mul(2) {
+            return None;
+        }
+        let est = pixel.estimate_current(c_hi, self.frame_time);
+        if est.value() <= 0.0 {
+            return None;
+        }
+        let k = self.i_ref.value() / est.value();
+        if k > self.dead_pixel_limit || k < 1.0 / self.dead_pixel_limit {
+            return None;
+        }
+        pixel.set_gain_correction(k);
+        Some(k)
+    }
+
     /// Calibrates every pixel: injects the reference, estimates, stores
     /// `i_ref / estimate` as the pixel's correction factor, then
     /// re-measures to report the residual spread.
@@ -158,7 +198,11 @@ mod tests {
             "calibrated spread = {}",
             report.spread_after
         );
-        assert!(report.improvement() > 10.0, "improvement = {}", report.improvement());
+        assert!(
+            report.improvement() > 10.0,
+            "improvement = {}",
+            report.improvement()
+        );
     }
 
     #[test]
@@ -166,8 +210,7 @@ mod tests {
         let mut pixels = mismatched_array(256, 3);
         let mut rng = SmallRng::seed_from_u64(4);
         let report = GainCalibration::default().run(&mut pixels, &mut rng);
-        let mean: f64 =
-            report.corrections.iter().sum::<f64>() / report.corrections.len() as f64;
+        let mean: f64 = report.corrections.iter().sum::<f64>() / report.corrections.len() as f64;
         assert!((mean - 1.0).abs() < 0.05, "mean correction = {mean}");
     }
 
@@ -206,7 +249,11 @@ mod tests {
         let mut pixels = mismatched_array(128, 8);
         let mut rng = SmallRng::seed_from_u64(9);
         let report = GainCalibration::default().run(&mut pixels, &mut rng);
-        assert!(report.dead_pixels.is_empty(), "dead: {:?}", report.dead_pixels);
+        assert!(
+            report.dead_pixels.is_empty(),
+            "dead: {:?}",
+            report.dead_pixels
+        );
         assert_eq!(report.yield_fraction(), 1.0);
     }
 
@@ -227,6 +274,46 @@ mod tests {
         let report = GainCalibration::default().run(&mut pixels, &mut rng);
         assert_eq!(report.dead_pixels, vec![5]);
         assert!((report.yield_fraction() - 15.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn escalated_retry_recovers_drifted_pixel() {
+        // 400 mV of comparator drift needs k ≈ 1.4 — outside the 1.3
+        // first-pass limit, inside the escalated one.
+        let mut p = DnaPixel::nominal(DnaPixelConfig::default());
+        let mut f = bsa_faults::PixelFaults::default();
+        f.merge(bsa_faults::FaultKind::ComparatorDrift {
+            offset: bsa_units::Volt::from_milli(400.0),
+        });
+        p.set_faults(f);
+        let cal = GainCalibration::default();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let first = cal.run(std::slice::from_mut(&mut p), &mut rng);
+        assert_eq!(first.dead_pixels, vec![0], "first pass must flag the drift");
+        let k = cal.escalated().retry_pixel(&mut p, &mut rng);
+        let k = k.expect("escalation should recover a drifted pixel");
+        assert!((k - 1.4).abs() < 0.05, "k = {k}");
+    }
+
+    #[test]
+    fn escalated_retry_rejects_dead_and_stuck_pixels() {
+        let cal = GainCalibration::default().escalated();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut dead = DnaPixel::nominal(DnaPixelConfig::default());
+        let mut f = bsa_faults::PixelFaults::default();
+        f.merge(bsa_faults::FaultKind::DeadPixel);
+        dead.set_faults(f);
+        assert_eq!(cal.retry_pixel(&mut dead, &mut rng), None);
+
+        let mut stuck = DnaPixel::nominal(DnaPixelConfig::default());
+        let mut f = bsa_faults::PixelFaults::default();
+        f.merge(bsa_faults::FaultKind::StuckCount { count: 1_000_000 });
+        stuck.set_faults(f);
+        assert_eq!(
+            cal.retry_pixel(&mut stuck, &mut rng),
+            None,
+            "a frozen count does not scale with current"
+        );
     }
 
     #[test]

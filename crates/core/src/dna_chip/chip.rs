@@ -7,15 +7,19 @@
 //! transmission". Process: L_min = 0.5 µm, t_ox = 15 nm, V_DD = 5 V.
 
 use super::calibration::{CalibrationReport, GainCalibration};
-use super::interface::{encode_frames, PixelReading};
+use super::interface::{
+    decode_frames_lenient, encode_frames, PixelReading, SerialError, WORD_BITS,
+};
 use super::pixel::{DnaPixel, DnaPixelConfig, PixelVariation};
 use crate::array::{ArrayGeometry, PixelAddress};
 use crate::error::ChipError;
+use crate::health::{HealthMonitor, PixelHealth, SerialLinkStats, YieldReport};
 use bsa_circuit::dac::Dac;
 use bsa_circuit::reference::BandgapReference;
 use bsa_electrochem::assay::{AssayConditions, SpottedSite};
 use bsa_electrochem::redox::RedoxCyclingModel;
 use bsa_electrochem::sequence::DnaSequence;
+use bsa_faults::{CompiledFaults, SerialCorruptor};
 use bsa_units::{Ampere, Molar, Seconds, Volt};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -154,6 +158,62 @@ impl KineticReadout {
     }
 }
 
+/// Result of a fault-tolerant serial readout
+/// ([`DnaChip::serial_readout_robust`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustReadout {
+    /// Per-word outcome in scan order; `None` = still corrupt after the
+    /// re-read budget was exhausted.
+    pub words: Vec<Option<PixelReading>>,
+    /// Link statistics for the transfer.
+    pub stats: SerialLinkStats,
+    /// Decode error of the first unrecoverable word, if any.
+    pub first_error: Option<SerialError>,
+}
+
+impl RobustReadout {
+    /// `true` if every word was eventually received intact.
+    pub fn is_complete(&self) -> bool {
+        self.stats.unrecovered_words == 0
+    }
+
+    /// The readings, requiring a complete transfer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::SerialUnrecoverable`] if any word stayed
+    /// corrupt after the re-read budget.
+    pub fn into_readings(self) -> Result<Vec<PixelReading>, ChipError> {
+        match self.first_error {
+            Some(last) => Err(ChipError::SerialUnrecoverable {
+                failed_words: self.stats.unrecovered_words,
+                rereads: self.stats.rereads,
+                last,
+            }),
+            None => Ok(self.words.into_iter().flatten().collect()),
+        }
+    }
+}
+
+/// Flips bits of an encoded stream word-by-word with the corruptor's
+/// per-bit error process (the physical model of a marginal serial link).
+fn corrupt_stream(bits: &mut [bool], corruptor: &mut SerialCorruptor) {
+    if corruptor.rate() <= 0.0 {
+        return;
+    }
+    for chunk in bits.chunks_mut(WORD_BITS as usize) {
+        let mut word = 0u64;
+        for &b in chunk.iter() {
+            word = (word << 1) | b as u64;
+        }
+        let (corrupted, _) = corruptor.corrupt(word, chunk.len() as u32);
+        let width = chunk.len();
+        for (k, b) in chunk.iter_mut().enumerate() {
+            *b = (corrupted >> (width - 1 - k)) & 1 == 1;
+        }
+    }
+}
+
 /// A DNA-microarray chip instance (one die, with its own mismatch).
 #[derive(Debug, Clone)]
 pub struct DnaChip {
@@ -164,6 +224,9 @@ pub struct DnaChip {
     electrode_dac: Dac,
     rng: SmallRng,
     calibrated: bool,
+    faults: CompiledFaults,
+    health: HealthMonitor,
+    link_stats: SerialLinkStats,
 }
 
 impl DnaChip {
@@ -182,8 +245,8 @@ impl DnaChip {
             })
             .collect();
         // 8-bit DAC over 0 … 2.5 V provides the electrochemical potentials.
-        let electrode_dac = Dac::new(8, Volt::ZERO, Volt::new(2.5))?
-            .with_element_mismatch(0.002, &mut rng);
+        let electrode_dac =
+            Dac::new(8, Volt::ZERO, Volt::new(2.5))?.with_element_mismatch(0.002, &mut rng);
         Ok(Self {
             pixels,
             probes: vec![None; n],
@@ -191,6 +254,9 @@ impl DnaChip {
             electrode_dac,
             rng,
             calibrated: false,
+            faults: CompiledFaults::none(config.geometry.rows(), config.geometry.cols()),
+            health: HealthMonitor::all_healthy(config.geometry),
+            link_stats: SerialLinkStats::default(),
             config,
         })
     }
@@ -258,9 +324,69 @@ impl DnaChip {
         Ok(self.probes[self.config.geometry.index_of(addr)?].as_ref())
     }
 
-    /// Runs the periphery auto-calibration over all pixels.
+    /// Injects a compiled fault map into the die: every pixel takes on its
+    /// planned defects, and the map's serial-link state drives
+    /// [`serial_readout_robust`](Self::serial_readout_robust). Channel-loss
+    /// faults are inert on this chip (the DNA array has no multiplexer);
+    /// they only matter on the neuro chip.
+    ///
+    /// Re-run [`auto_calibrate`](Self::auto_calibrate) afterwards so the
+    /// health monitor reflects the new defects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::FaultGeometryMismatch`] if the map was compiled
+    /// for a different array geometry.
+    pub fn inject_faults(&mut self, faults: &CompiledFaults) -> Result<(), ChipError> {
+        let g = self.config.geometry;
+        if faults.rows() != g.rows() || faults.cols() != g.cols() {
+            return Err(ChipError::FaultGeometryMismatch {
+                map: (faults.rows(), faults.cols()),
+                chip: (g.rows(), g.cols()),
+            });
+        }
+        for (pixel, &f) in self.pixels.iter_mut().zip(faults.pixels().iter()) {
+            pixel.set_faults(f);
+        }
+        self.faults = faults.clone();
+        Ok(())
+    }
+
+    /// The fault map currently injected (fault-free for a pristine die).
+    pub fn faults(&self) -> &CompiledFaults {
+        &self.faults
+    }
+
+    /// Per-pixel health as established by the last
+    /// [`auto_calibrate`](Self::auto_calibrate) run.
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// Serial-link statistics from the last
+    /// [`serial_readout_robust`](Self::serial_readout_robust) call.
+    pub fn link_stats(&self) -> SerialLinkStats {
+        self.link_stats
+    }
+
+    /// Runs the periphery auto-calibration over all pixels, retrying every
+    /// first-pass failure with [escalated](GainCalibration::escalated)
+    /// settings (8× reference current, 4× integration window, relaxed
+    /// limit). Pixels recovered by escalation are classified
+    /// [`PixelHealth::OutOfFamily`]; the rest are masked
+    /// [`PixelHealth::Dead`] in [`health`](Self::health).
     pub fn auto_calibrate(&mut self) -> CalibrationReport {
         let report = self.config.calibration.run(&mut self.pixels, &mut self.rng);
+        let mut health = HealthMonitor::all_healthy(self.config.geometry);
+        let escalated = self.config.calibration.escalated();
+        for &i in &report.dead_pixels {
+            let state = match escalated.retry_pixel(&mut self.pixels[i], &mut self.rng) {
+                Some(_) => PixelHealth::OutOfFamily,
+                None => PixelHealth::Dead,
+            };
+            health.set_state(i, state);
+        }
+        self.health = health;
         self.calibrated = true;
         report
     }
@@ -269,31 +395,44 @@ impl DnaChip {
     /// order) — the electrical-characterization mode used to sweep the
     /// converter transfer curve.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `currents.len()` differs from the array size.
-    pub fn measure_currents(&mut self, currents: &[Ampere]) -> Vec<u64> {
-        assert_eq!(
-            currents.len(),
-            self.pixels.len(),
-            "one current per pixel required"
-        );
+    /// Returns [`ChipError::LengthMismatch`] unless exactly one current per
+    /// pixel is supplied.
+    pub fn measure_currents(&mut self, currents: &[Ampere]) -> Result<Vec<u64>, ChipError> {
+        if currents.len() != self.pixels.len() {
+            return Err(ChipError::LengthMismatch {
+                expected: self.pixels.len(),
+                got: currents.len(),
+            });
+        }
         let frame = self.config.frame_time;
-        currents
+        Ok(currents
             .iter()
             .zip(self.pixels.iter_mut())
             .map(|(&i, p)| p.convert(i, frame, &mut self.rng).count)
-            .collect()
+            .collect())
     }
 
     /// Recovers current estimates from counts using each pixel's
     /// calibration state.
-    pub fn estimate_currents(&self, counts: &[u64]) -> Vec<Ampere> {
-        counts
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::LengthMismatch`] unless exactly one count per
+    /// pixel is supplied.
+    pub fn estimate_currents(&self, counts: &[u64]) -> Result<Vec<Ampere>, ChipError> {
+        if counts.len() != self.pixels.len() {
+            return Err(ChipError::LengthMismatch {
+                expected: self.pixels.len(),
+                got: counts.len(),
+            });
+        }
+        Ok(counts
             .iter()
             .zip(self.pixels.iter())
             .map(|(&c, p)| p.estimate_current(c, self.config.frame_time))
-            .collect()
+            .collect())
     }
 
     /// Runs the complete assay (hybridization → wash → redox readout →
@@ -329,7 +468,9 @@ impl DnaChip {
             let r = self.pixels[i].convert(i_sensor, frame, &mut self.rng);
             counts.push(r.count);
         }
-        let estimated_currents = self.estimate_currents(&counts);
+        let estimated_currents = self
+            .estimate_currents(&counts)
+            .expect("one count per pixel by construction");
 
         AssayReadout {
             geometry: self.config.geometry,
@@ -343,6 +484,79 @@ impl DnaChip {
     /// Serializes counts through the 6-pin interface (DOUT bit stream).
     pub fn serial_readout(&self, readout: &AssayReadout) -> Vec<bool> {
         encode_frames(&readout.to_readings())
+    }
+
+    /// Fault-tolerant serial readout: transmits every word through the
+    /// (possibly corrupt) link, decodes leniently, then re-requests only
+    /// the words that failed their CRC, up to `max_rereads` extra passes.
+    /// The resulting [`SerialLinkStats`] are kept on the chip for
+    /// [`yield_report`](Self::yield_report).
+    pub fn serial_readout_robust(
+        &mut self,
+        readout: &AssayReadout,
+        max_rereads: usize,
+    ) -> RobustReadout {
+        let readings = readout.to_readings();
+        let n = readings.len();
+        let mut corruptor = self.faults.serial_corruptor();
+        let mut words: Vec<Option<PixelReading>> = vec![None; n];
+        let mut word_errors: Vec<Option<SerialError>> = vec![None; n];
+        let mut pending: Vec<usize> = (0..n).collect();
+        let mut stats = SerialLinkStats::default();
+
+        for pass in 0..=max_rereads {
+            if pending.is_empty() {
+                break;
+            }
+            if pass > 0 {
+                stats.rereads += 1;
+            }
+            let subset: Vec<PixelReading> = pending.iter().map(|&i| readings[i]).collect();
+            let mut bits = encode_frames(&subset);
+            corrupt_stream(&mut bits, &mut corruptor);
+            let verdicts = decode_frames_lenient(&bits);
+            let mut still = Vec::new();
+            for (&idx, verdict) in pending.iter().zip(verdicts.iter()) {
+                match verdict {
+                    Ok(r) => {
+                        words[idx] = Some(*r);
+                        word_errors[idx] = None;
+                        if pass == 0 {
+                            stats.clean_words += 1;
+                        } else {
+                            stats.recovered_words += 1;
+                        }
+                    }
+                    Err(e) => {
+                        word_errors[idx] = Some(e.clone());
+                        still.push(idx);
+                    }
+                }
+            }
+            pending = still;
+        }
+
+        stats.unrecovered_words = pending.len();
+        self.link_stats = stats;
+        let first_error = pending.first().and_then(|&idx| word_errors[idx].clone());
+        RobustReadout {
+            words,
+            stats,
+            first_error,
+        }
+    }
+
+    /// Summarizes the die: per-pixel health from the last calibration,
+    /// injected fault counts from the compiled plan, and serial-link
+    /// statistics from the last robust readout.
+    pub fn yield_report(&self) -> YieldReport {
+        YieldReport::new(
+            &self.health,
+            Vec::new(), // the DNA chip has no multiplexed channels to lose
+            0,
+            self.faults.injected_counts().clone(),
+            self.link_stats,
+        )
     }
 
     /// Monitors hybridization *kinetics*: reads the whole array at each of
@@ -426,8 +640,16 @@ mod tests {
     fn die_has_128_distinct_pixels() {
         let c = chip();
         assert_eq!(c.geometry().len(), 128);
-        let v0 = c.pixel(PixelAddress::new(0, 0)).unwrap().variation().c_int_rel_err;
-        let v1 = c.pixel(PixelAddress::new(0, 1)).unwrap().variation().c_int_rel_err;
+        let v0 = c
+            .pixel(PixelAddress::new(0, 0))
+            .unwrap()
+            .variation()
+            .c_int_rel_err;
+        let v1 = c
+            .pixel(PixelAddress::new(0, 1))
+            .unwrap()
+            .variation()
+            .c_int_rel_err;
         assert_ne!(v0, v1, "mismatch must differ pixel to pixel");
     }
 
@@ -472,10 +694,8 @@ mod tests {
         c.auto_calibrate();
 
         // The sample contains the perfect complement of probe 0 only.
-        let sample = SampleMix::new().with_target(
-            probes[0].reverse_complement(),
-            Molar::from_nano(100.0),
-        );
+        let sample =
+            SampleMix::new().with_target(probes[0].reverse_complement(), Molar::from_nano(100.0));
         let readout = c.run_assay(&sample);
 
         let match_i = readout.estimated_currents[0];
@@ -509,8 +729,8 @@ mod tests {
         let mut c = chip();
         let probes = probe_set(128, 3);
         c.spot_all(&probes);
-        let sample = SampleMix::new()
-            .with_target(probes[5].reverse_complement(), Molar::from_nano(50.0));
+        let sample =
+            SampleMix::new().with_target(probes[5].reverse_complement(), Molar::from_nano(50.0));
         let readout = c.run_assay(&sample);
         let bits = c.serial_readout(&readout);
         let decoded = decode_frames(&bits).unwrap();
@@ -536,8 +756,8 @@ mod tests {
                 Ampere::new(1e-12 * 10f64.powf(5.0 * f))
             })
             .collect();
-        let counts = c.measure_currents(&currents);
-        let estimates = c.estimate_currents(&counts);
+        let counts = c.measure_currents(&currents).unwrap();
+        let estimates = c.estimate_currents(&counts).unwrap();
         for (i, (est, truth)) in estimates.iter().zip(currents.iter()).enumerate() {
             let rel = (est.value() - truth.value()).abs() / truth.value();
             // Bottom decade is shot/quantization limited; be looser there.
@@ -560,8 +780,8 @@ mod tests {
         let probes = probe_set(128, 21);
         c.spot_all(&probes);
         c.auto_calibrate();
-        let sample = SampleMix::new()
-            .with_target(probes[0].reverse_complement(), Molar::from_nano(10.0));
+        let sample =
+            SampleMix::new().with_target(probes[0].reverse_complement(), Molar::from_nano(10.0));
         let times: Vec<Seconds> = [0.0, 60.0, 180.0, 600.0, 1800.0, 3600.0]
             .iter()
             .map(|s| Seconds::new(*s))
@@ -574,7 +794,10 @@ mod tests {
         assert_eq!(series.len(), 6);
         let first = series[0].1.value();
         let last = series[5].1.value();
-        assert!(last > 100.0 * first.max(1e-15), "first {first}, last {last}");
+        assert!(
+            last > 100.0 * first.max(1e-15),
+            "first {first}, last {last}"
+        );
         let mid = series[3].1.value();
         assert!(mid > 0.3 * last, "association should be well underway");
 
@@ -605,16 +828,150 @@ mod tests {
     }
 
     #[test]
+    fn measurement_length_mismatch_is_an_error() {
+        let mut c = chip();
+        assert!(matches!(
+            c.measure_currents(&[Ampere::from_nano(1.0); 5]),
+            Err(ChipError::LengthMismatch {
+                expected: 128,
+                got: 5
+            })
+        ));
+        assert!(matches!(
+            c.estimate_currents(&[1000; 200]),
+            Err(ChipError::LengthMismatch {
+                expected: 128,
+                got: 200
+            })
+        ));
+    }
+
+    #[test]
+    fn fault_map_geometry_is_checked() {
+        use bsa_faults::InjectionPlan;
+        let mut c = chip();
+        let wrong = InjectionPlan::new(1).compile(128, 128);
+        assert!(matches!(
+            c.inject_faults(&wrong),
+            Err(ChipError::FaultGeometryMismatch { .. })
+        ));
+        let right = InjectionPlan::new(1).compile(8, 16);
+        assert!(c.inject_faults(&right).is_ok());
+    }
+
+    #[test]
+    fn calibration_masks_injected_dead_pixels() {
+        use crate::health::{DegradationMode, PixelHealth};
+        use bsa_faults::{FaultKind, InjectionPlan};
+        let mut c = chip();
+        let faults = InjectionPlan::new(5)
+            .at(2, 3, FaultKind::DeadPixel)
+            .at(4, 9, FaultKind::ComparatorStuck { high: true })
+            .compile(8, 16);
+        c.inject_faults(&faults).unwrap();
+        c.auto_calibrate();
+        let h = c.health();
+        assert_eq!(
+            h.state_at(PixelAddress::new(2, 3)).unwrap(),
+            PixelHealth::Dead
+        );
+        assert_eq!(
+            h.state_at(PixelAddress::new(4, 9)).unwrap(),
+            PixelHealth::Dead
+        );
+        assert_eq!(h.dead_indices().len(), 2);
+        let report = c.yield_report();
+        assert_eq!(report.dead, 2);
+        assert_eq!(report.degradation, DegradationMode::Degraded);
+    }
+
+    #[test]
+    fn escalation_recovers_drifted_pixel_as_out_of_family() {
+        use crate::health::PixelHealth;
+        use bsa_faults::{FaultKind, InjectionPlan};
+        let mut c = chip();
+        let faults = InjectionPlan::new(6)
+            .at(
+                1,
+                1,
+                FaultKind::ComparatorDrift {
+                    offset: Volt::from_milli(400.0),
+                },
+            )
+            .compile(8, 16);
+        c.inject_faults(&faults).unwrap();
+        c.auto_calibrate();
+        assert_eq!(
+            c.health().state_at(PixelAddress::new(1, 1)).unwrap(),
+            PixelHealth::OutOfFamily,
+            "escalated calibration should keep the drifted pixel usable"
+        );
+    }
+
+    #[test]
+    fn robust_readout_is_transparent_on_a_clean_link() {
+        let mut c = chip();
+        let readout = c.run_assay(&SampleMix::new());
+        let robust = c.serial_readout_robust(&readout, 3);
+        assert!(robust.is_complete());
+        assert_eq!(robust.stats.clean_words, 128);
+        assert_eq!(robust.stats.rereads, 0);
+        let readings = robust.into_readings().unwrap();
+        assert_eq!(readings, readout.to_readings());
+    }
+
+    #[test]
+    fn robust_readout_rereads_through_bit_errors() {
+        use bsa_faults::InjectionPlan;
+        let mut c = chip();
+        // ~5 % of words hit per pass: p_word = 1 − (1−1e-3)^56 ≈ 0.054.
+        let faults = InjectionPlan::new(7).serial_bit_errors(1e-3).compile(8, 16);
+        c.inject_faults(&faults).unwrap();
+        let readout = c.run_assay(&SampleMix::new());
+        let robust = c.serial_readout_robust(&readout, 8);
+        assert!(robust.is_complete(), "stats: {:?}", robust.stats);
+        assert!(
+            robust.stats.recovered_words > 0,
+            "stats: {:?}",
+            robust.stats
+        );
+        assert!(robust.stats.rereads >= 1);
+        assert_eq!(robust.into_readings().unwrap(), readout.to_readings());
+        assert_eq!(c.link_stats().unrecovered_words, 0);
+    }
+
+    #[test]
+    fn hopeless_link_reports_unrecoverable_words() {
+        use crate::health::DegradationMode;
+        use bsa_faults::InjectionPlan;
+        let mut c = chip();
+        let faults = InjectionPlan::new(8).serial_bit_errors(0.4).compile(8, 16);
+        c.inject_faults(&faults).unwrap();
+        let readout = c.run_assay(&SampleMix::new());
+        let robust = c.serial_readout_robust(&readout, 2);
+        assert!(!robust.is_complete());
+        assert!(robust.stats.unrecovered_words > 64);
+        assert!(matches!(
+            robust.into_readings(),
+            Err(ChipError::SerialUnrecoverable { .. })
+        ));
+        assert_eq!(c.yield_report().degradation, DegradationMode::Unusable);
+    }
+
+    #[test]
     fn estimated_matches_true_current_after_calibration() {
         let mut c = chip();
         let probes = probe_set(128, 4);
         c.spot_all(&probes);
         c.auto_calibrate();
-        let sample = SampleMix::new()
-            .with_target(probes[10].reverse_complement(), Molar::from_nano(100.0));
+        let sample =
+            SampleMix::new().with_target(probes[10].reverse_complement(), Molar::from_nano(100.0));
         let readout = c.run_assay(&sample);
         let est = readout.estimated_currents[10].value();
         let truth = readout.true_currents[10].value();
-        assert!((est - truth).abs() / truth < 0.05, "est {est}, true {truth}");
+        assert!(
+            (est - truth).abs() / truth < 0.05,
+            "est {est}, true {truth}"
+        );
     }
 }

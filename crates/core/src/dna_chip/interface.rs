@@ -5,7 +5,13 @@
 //! clock, data-in, data-out and reset carry the digital traffic. Readout
 //! data leaves the chip as fixed-format serial words; this module encodes
 //! pixel readings to the bit stream and decodes them back, detecting
-//! corrupted frames via a checksum.
+//! corrupted frames via a CRC-8 word check.
+//!
+//! Two decoders are provided: [`decode_frames`] aborts on the first bad
+//! word (the strict electrical-test mode), while [`decode_frames_lenient`]
+//! reports every word's individual verdict so a fault-tolerant host can
+//! re-request only the corrupt words (see `DnaChip::serial_readout_robust`
+//! in [`super::chip`]).
 
 use crate::array::PixelAddress;
 use bsa_circuit::digital::{Deserializer, ShiftRegister};
@@ -19,8 +25,8 @@ pub const PIN_COUNT: usize = 6;
 /// Sync byte opening every serial word.
 const SYNC: u8 = 0xA5;
 
-/// Serial word width: sync(8) + row(8) + col(8) + count(24) + checksum(8).
-const WORD_BITS: u8 = 56;
+/// Serial word width: sync(8) + row(8) + col(8) + count(24) + CRC(8).
+pub const WORD_BITS: u8 = 56;
 
 /// One pixel reading as transmitted over the serial link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,7 +66,10 @@ impl fmt::Display for SerialError {
                 write!(f, "checksum mismatch in serial word {word_index}")
             }
             Self::Truncated { leftover_bits } => {
-                write!(f, "serial stream truncated with {leftover_bits} leftover bits")
+                write!(
+                    f,
+                    "serial stream truncated with {leftover_bits} leftover bits"
+                )
             }
         }
     }
@@ -78,8 +87,21 @@ fn pack(reading: &PixelReading) -> u64 {
 }
 
 fn checksum_of(body: u64) -> u8 {
-    // XOR of the six body bytes.
-    (0..6).fold(0u8, |acc, k| acc ^ ((body >> (8 * k)) & 0xFF) as u8)
+    // CRC-8 (poly 0x07, init 0x00) over the six body bytes, MSB first.
+    // Unlike a byte-XOR parity it catches all 2-bit errors within a word
+    // and all burst errors up to 8 bits.
+    let mut crc = 0u8;
+    for k in (0..6).rev() {
+        crc ^= ((body >> (8 * k)) & 0xFF) as u8;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
 }
 
 /// Encodes pixel readings into the serial bit stream (MSB-first), exactly
@@ -92,6 +114,26 @@ pub fn encode_frames(readings: &[PixelReading]) -> Vec<bool> {
     sr.drain_all()
 }
 
+/// Validates and unpacks one 56-bit serial word.
+fn unpack(word: u64, word_index: usize) -> Result<PixelReading, SerialError> {
+    let body = word >> 8;
+    let checksum = (word & 0xFF) as u8;
+    let sync = ((body >> 40) & 0xFF) as u8;
+    if sync != SYNC {
+        return Err(SerialError::BadSync { got: sync });
+    }
+    if checksum_of(body) != checksum {
+        return Err(SerialError::BadChecksum { word_index });
+    }
+    let row = ((body >> 32) & 0xFF) as usize;
+    let col = ((body >> 24) & 0xFF) as usize;
+    let count = body & 0xFF_FFFF;
+    Ok(PixelReading {
+        address: PixelAddress::new(row, col),
+        count,
+    })
+}
+
 /// Decodes a serial bit stream back into pixel readings.
 ///
 /// # Errors
@@ -101,26 +143,9 @@ pub fn encode_frames(readings: &[PixelReading]) -> Vec<bool> {
 pub fn decode_frames(bits: &[bool]) -> Result<Vec<PixelReading>, SerialError> {
     let mut de = Deserializer::new();
     let mut out = Vec::new();
-    let mut word_index = 0usize;
     for bit in bits {
         if let Some(word) = de.push(*bit, WORD_BITS) {
-            let body = word >> 8;
-            let checksum = (word & 0xFF) as u8;
-            let sync = ((body >> 40) & 0xFF) as u8;
-            if sync != SYNC {
-                return Err(SerialError::BadSync { got: sync });
-            }
-            if checksum_of(body) != checksum {
-                return Err(SerialError::BadChecksum { word_index });
-            }
-            let row = ((body >> 32) & 0xFF) as usize;
-            let col = ((body >> 24) & 0xFF) as usize;
-            let count = body & 0xFF_FFFF;
-            out.push(PixelReading {
-                address: PixelAddress::new(row, col),
-                count,
-            });
-            word_index += 1;
+            out.push(unpack(word, out.len())?);
         }
     }
     let leftover = de.pending_bits();
@@ -130,6 +155,30 @@ pub fn decode_frames(bits: &[bool]) -> Result<Vec<PixelReading>, SerialError> {
         });
     }
     Ok(out)
+}
+
+/// Decodes a serial bit stream word by word, reporting each word's
+/// verdict instead of aborting at the first corruption. Trailing bits
+/// that do not fill a word are reported as one final
+/// [`SerialError::Truncated`] entry.
+///
+/// The returned vector has one entry per transmitted word, in order, so
+/// a host can re-request exactly the failed positions.
+pub fn decode_frames_lenient(bits: &[bool]) -> Vec<Result<PixelReading, SerialError>> {
+    let mut de = Deserializer::new();
+    let mut out = Vec::new();
+    for bit in bits {
+        if let Some(word) = de.push(*bit, WORD_BITS) {
+            out.push(unpack(word, out.len()));
+        }
+    }
+    let leftover = de.pending_bits();
+    if leftover != 0 {
+        out.push(Err(SerialError::Truncated {
+            leftover_bits: leftover as usize,
+        }));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -15,6 +15,9 @@ mod interface;
 mod pixel;
 
 pub use calibration::{CalibrationReport, GainCalibration};
-pub use chip::{AssayReadout, DnaChip, DnaChipConfig, SampleMix};
-pub use interface::{decode_frames, encode_frames, PixelReading, SerialError, PIN_COUNT};
+pub use chip::{AssayReadout, DnaChip, DnaChipConfig, KineticReadout, RobustReadout, SampleMix};
+pub use interface::{
+    decode_frames, decode_frames_lenient, encode_frames, PixelReading, SerialError, PIN_COUNT,
+    WORD_BITS,
+};
 pub use pixel::{ConversionResult, DnaPixel, DnaPixelConfig, PixelVariation};

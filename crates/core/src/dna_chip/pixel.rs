@@ -20,6 +20,7 @@ use bsa_circuit::comparator::{Comparator, DelayStage};
 use bsa_circuit::digital::EventCounter;
 use bsa_circuit::noise::GaussianSampler;
 use bsa_circuit::waveform::Waveform;
+use bsa_faults::PixelFaults;
 use bsa_units::consts::ELEMENTARY_CHARGE;
 use bsa_units::{Ampere, Farad, Hertz, Seconds, Volt};
 use rand::Rng;
@@ -101,6 +102,8 @@ pub struct DnaPixel {
     /// Multiplicative correction factor set by auto-calibration
     /// (1.0 = uncalibrated).
     gain_correction: f64,
+    /// Injected defects (default: none).
+    faults: PixelFaults,
 }
 
 impl DnaPixel {
@@ -110,6 +113,7 @@ impl DnaPixel {
             config,
             variation: PixelVariation::default(),
             gain_correction: 1.0,
+            faults: PixelFaults::default(),
         }
     }
 
@@ -119,6 +123,7 @@ impl DnaPixel {
             config,
             variation,
             gain_correction: 1.0,
+            faults: PixelFaults::default(),
         }
     }
 
@@ -139,8 +144,24 @@ impl DnaPixel {
 
     /// Sets the calibration gain-correction factor (see
     /// [`crate::dna_chip::GainCalibration`]).
+    ///
+    /// The correction is realized by the pixel's calibration DAC; if a
+    /// [DAC-saturation fault](bsa_faults::FaultKind::DacSaturation) is
+    /// present, the stored factor is clamped to the surviving DAC range.
     pub fn set_gain_correction(&mut self, k: f64) {
-        self.gain_correction = k;
+        self.gain_correction = self.faults.clamp_correction(k);
+    }
+
+    /// The injected defects on this pixel.
+    pub fn faults(&self) -> &PixelFaults {
+        &self.faults
+    }
+
+    /// Injects (or clears, with the default value) defects on this pixel.
+    pub fn set_faults(&mut self, faults: PixelFaults) {
+        self.faults = faults;
+        // Re-clamp any stored correction against the new DAC range.
+        self.gain_correction = self.faults.clamp_correction(self.gain_correction);
     }
 
     /// Effective integration capacitance including mismatch.
@@ -148,9 +169,16 @@ impl DnaPixel {
         self.config.c_int * (1.0 + self.variation.c_int_rel_err)
     }
 
-    /// Effective ramp span including the comparator offset.
+    /// Effective ramp span including the comparator offset and any
+    /// injected switching-level drift.
     pub fn delta_v_effective(&self) -> Volt {
-        self.config.delta_v + self.variation.comparator_offset
+        self.config.delta_v + self.variation.comparator_offset + self.faults.comparator_drift
+    }
+
+    /// The current actually entering the integrator: sensor current plus
+    /// any injected electrode leakage.
+    fn integrator_input(&self, i: Ampere) -> Ampere {
+        i + self.faults.leakage
     }
 
     /// Effective dead time per cycle (delay + reset width).
@@ -177,21 +205,45 @@ impl DnaPixel {
     }
 
     /// Noise-free conversion: the count after a frame of `frame_time`,
-    /// saturating at the counter's width.
+    /// saturating at the counter's width. Injected defects apply: a dead
+    /// or comparator-stuck pixel counts 0, a stuck counter returns its
+    /// frozen value, electrode leakage adds to the sensor current.
     pub fn convert_ideal(&mut self, i: Ampere, frame_time: Seconds) -> u64 {
-        let n = (frame_time.value() / self.period(i).value()).floor() as u64;
         let counter = EventCounter::new(self.config.counter_bits);
+        if self.faults.dead {
+            return 0;
+        }
+        if let Some(frozen) = self.faults.stuck_count {
+            return frozen.min(counter.max_count());
+        }
+        let i = self.integrator_input(i);
+        let n = (frame_time.value() / self.period(i).value()).floor() as u64;
         n.min(counter.max_count())
     }
 
     /// Full conversion with counting statistics: shot noise of the charge
-    /// packets plus ±1 quantization of the cycle phase.
+    /// packets plus ±1 quantization of the cycle phase. Injected defects
+    /// apply as in [`convert_ideal`](Self::convert_ideal).
     pub fn convert<R: Rng>(
         &mut self,
         i: Ampere,
         frame_time: Seconds,
         rng: &mut R,
     ) -> ConversionResult {
+        let counter = EventCounter::new(self.config.counter_bits);
+        if self.faults.dead {
+            return ConversionResult {
+                count: 0,
+                overflowed: false,
+            };
+        }
+        if let Some(frozen) = self.faults.stuck_count {
+            return ConversionResult {
+                count: frozen.min(counter.max_count()),
+                overflowed: frozen > counter.max_count(),
+            };
+        }
+        let i = self.integrator_input(i);
         let period = self.period(i);
         let mean_count = frame_time.value() / period.value();
 
@@ -204,7 +256,6 @@ impl DnaPixel {
         let mut g = GaussianSampler::new();
         let noisy = mean_count + sigma * g.sample(rng);
 
-        let counter = EventCounter::new(self.config.counter_bits);
         let target = noisy.max(0.0).floor() as u64;
         let overflowed = target > counter.max_count();
         ConversionResult {
@@ -351,7 +402,10 @@ mod tests {
             .map(|_| p.convert(i, frame, &mut rng).count as f64)
             .sum::<f64>()
             / n as f64;
-        assert!((mean - ideal).abs() / ideal < 0.01, "mean = {mean}, ideal = {ideal}");
+        assert!(
+            (mean - ideal).abs() / ideal < 0.01,
+            "mean = {mean}, ideal = {ideal}"
+        );
     }
 
     #[test]
@@ -415,6 +469,86 @@ mod tests {
             (ramps as i64 - expected as i64).abs() <= 1,
             "ramps = {ramps}, expected ≈ {expected}"
         );
+    }
+
+    #[test]
+    fn dead_pixel_counts_zero() {
+        let mut p = pixel();
+        let mut f = bsa_faults::PixelFaults::default();
+        f.merge(bsa_faults::FaultKind::DeadPixel);
+        p.set_faults(f);
+        assert_eq!(
+            p.convert_ideal(Ampere::from_nano(100.0), Seconds::new(10.0)),
+            0
+        );
+        let mut rng = SmallRng::seed_from_u64(3);
+        let r = p.convert(Ampere::from_nano(100.0), Seconds::new(10.0), &mut rng);
+        assert_eq!(r.count, 0);
+        assert!(!r.overflowed);
+    }
+
+    #[test]
+    fn stuck_counter_returns_frozen_value() {
+        let mut p = pixel();
+        let mut f = bsa_faults::PixelFaults::default();
+        f.merge(bsa_faults::FaultKind::StuckCount { count: 424_242 });
+        p.set_faults(f);
+        for i in [Ampere::from_pico(1.0), Ampere::from_nano(100.0)] {
+            assert_eq!(p.convert_ideal(i, Seconds::new(10.0)), 424_242);
+        }
+    }
+
+    #[test]
+    fn leakage_biases_small_currents() {
+        let mut clean = pixel();
+        let mut leaky = pixel();
+        let mut f = bsa_faults::PixelFaults::default();
+        f.merge(bsa_faults::FaultKind::LeakyElectrode {
+            leakage: Ampere::from_pico(10.0),
+        });
+        leaky.set_faults(f);
+        let frame = Seconds::new(10.0);
+        let i = Ampere::from_pico(5.0);
+        let n_clean = clean.convert_ideal(i, frame);
+        let n_leaky = leaky.convert_ideal(i, frame);
+        // 5 pA + 10 pA leakage reads ≈ 3× too high.
+        assert!(n_leaky > 2 * n_clean, "clean {n_clean}, leaky {n_leaky}");
+    }
+
+    #[test]
+    fn comparator_drift_shifts_gain_until_recalibrated() {
+        let mut p = pixel();
+        let mut f = bsa_faults::PixelFaults::default();
+        f.merge(bsa_faults::FaultKind::ComparatorDrift {
+            offset: Volt::from_milli(100.0),
+        });
+        p.set_faults(f);
+        let frame = Seconds::new(10.0);
+        let i = Ampere::from_nano(1.0);
+        let est = p.estimate_current(p.clone().convert_ideal(i, frame), frame);
+        let rel = (est.value() - i.value()).abs() / i.value();
+        assert!(rel > 0.05, "drift must bias the estimate, rel = {rel}");
+        // Recalibration against a reference current absorbs the drift.
+        let i_ref = Ampere::from_nano(10.0);
+        let k = i_ref.value()
+            / p.estimate_current(p.clone().convert_ideal(i_ref, frame), frame)
+                .value();
+        p.set_gain_correction(k);
+        let est2 = p.estimate_current(p.clone().convert_ideal(i, frame), frame);
+        let rel2 = (est2.value() - i.value()).abs() / i.value();
+        assert!(rel2 < 0.01, "recalibrated rel = {rel2}");
+    }
+
+    #[test]
+    fn saturated_dac_clamps_correction() {
+        let mut p = pixel();
+        let mut f = bsa_faults::PixelFaults::default();
+        f.merge(bsa_faults::FaultKind::DacSaturation { limit: 1.05 });
+        p.set_faults(f);
+        p.set_gain_correction(1.5);
+        assert!((p.gain_correction() - 1.05).abs() < 1e-12);
+        p.set_gain_correction(0.5);
+        assert!((p.gain_correction() - 1.0 / 1.05).abs() < 1e-12);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Error type for chip construction and operation.
 
+use crate::dna_chip::SerialError;
 use std::error::Error;
 use std::fmt;
 
@@ -23,10 +24,33 @@ pub enum ChipError {
         /// Array columns.
         cols: usize,
     },
+    /// A slice argument did not have one element per pixel.
+    LengthMismatch {
+        /// Elements the array geometry requires.
+        expected: usize,
+        /// Elements actually supplied.
+        got: usize,
+    },
     /// A serial bit stream could not be decoded.
     SerialDecode {
         /// What was wrong.
         reason: String,
+    },
+    /// A serial word stayed corrupt after exhausting the re-read budget.
+    SerialUnrecoverable {
+        /// Words still corrupt after the final attempt.
+        failed_words: usize,
+        /// Re-read attempts that were made.
+        rereads: usize,
+        /// The decode error of the first unrecoverable word.
+        last: SerialError,
+    },
+    /// A fault-injection map was compiled for a different geometry.
+    FaultGeometryMismatch {
+        /// Rows × cols the map was compiled for.
+        map: (usize, usize),
+        /// Rows × cols of the chip.
+        chip: (usize, usize),
     },
     /// An underlying circuit model rejected its parameters.
     Circuit(bsa_circuit::CircuitError),
@@ -41,11 +65,24 @@ impl fmt::Display for ChipError {
                 col,
                 rows,
                 cols,
+            } => write!(f, "pixel ({row}, {col}) outside {rows}×{cols} array"),
+            Self::LengthMismatch { expected, got } => {
+                write!(f, "expected {expected} elements (one per pixel), got {got}")
+            }
+            Self::SerialDecode { reason } => write!(f, "serial decode failed: {reason}"),
+            Self::SerialUnrecoverable {
+                failed_words,
+                rereads,
+                last,
             } => write!(
                 f,
-                "pixel ({row}, {col}) outside {rows}×{cols} array"
+                "{failed_words} serial word(s) still corrupt after {rereads} re-read(s): {last}"
             ),
-            Self::SerialDecode { reason } => write!(f, "serial decode failed: {reason}"),
+            Self::FaultGeometryMismatch { map, chip } => write!(
+                f,
+                "fault map compiled for {}×{} cannot be injected into a {}×{} chip",
+                map.0, map.1, chip.0, chip.1
+            ),
             Self::Circuit(e) => write!(f, "circuit model error: {e}"),
         }
     }
@@ -55,6 +92,7 @@ impl Error for ChipError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             Self::Circuit(e) => Some(e),
+            Self::SerialUnrecoverable { last, .. } => Some(last),
             _ => None,
         }
     }
@@ -63,6 +101,14 @@ impl Error for ChipError {
 impl From<bsa_circuit::CircuitError> for ChipError {
     fn from(e: bsa_circuit::CircuitError) -> Self {
         Self::Circuit(e)
+    }
+}
+
+impl From<SerialError> for ChipError {
+    fn from(e: SerialError) -> Self {
+        Self::SerialDecode {
+            reason: e.to_string(),
+        }
     }
 }
 

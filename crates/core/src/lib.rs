@@ -33,6 +33,8 @@
 pub mod array;
 pub mod dna_chip;
 pub mod error;
+pub mod health;
 pub mod neuro_chip;
 
 pub use error::ChipError;
+pub use health::{DegradationMode, HealthMonitor, PixelHealth, YieldReport};

@@ -186,20 +186,15 @@ impl ChannelChain {
     /// current, applies finite-bandwidth settling toward the new value
     /// within the dwell time (leaving crosstalk from the previous pixel),
     /// adds input-referred noise, and converts to the output voltage.
-    pub fn process_sample<R: Rng>(
-        &mut self,
-        i_diff: Ampere,
-        dwell: Seconds,
-        rng: &mut R,
-    ) -> Volt {
+    pub fn process_sample<R: Rng>(&mut self, i_diff: Ampere, dwell: Seconds, rng: &mut R) -> Volt {
         let mut g = GaussianSampler::new();
         let noisy_in = i_diff + self.config.input_noise * g.sample(rng);
         let target = noisy_in * self.current_gain();
 
         // Two cascaded single-pole settles: readout amp then driver.
         let tau_a = self.readout.tau();
-        let tau_b = Seconds::new(1.0 / (2.0 * std::f64::consts::PI
-            * self.config.driver_bandwidth.value()));
+        let tau_b =
+            Seconds::new(1.0 / (2.0 * std::f64::consts::PI * self.config.driver_bandwidth.value()));
         let settle = |from: Ampere, to: Ampere, tau: Seconds| -> Ampere {
             let alpha = (-dwell.value() / tau.value()).exp();
             to + (from - to) * alpha
@@ -267,10 +262,7 @@ mod tests {
         c.calibrate();
         let mut cfg = c.config().clone();
         cfg.input_noise = Ampere::ZERO;
-        let mut c = ChannelChain {
-            config: cfg,
-            ..c
-        };
+        let mut c = ChannelChain { config: cfg, ..c };
         let i = Ampere::from_nano(10.0);
         let dwell = Seconds::from_micro(10.0); // ≫ both taus
         let mut rng = SmallRng::seed_from_u64(7);
@@ -285,10 +277,7 @@ mod tests {
         c.calibrate();
         let mut cfg = c.config().clone();
         cfg.input_noise = Ampere::ZERO;
-        let mut c = ChannelChain {
-            config: cfg,
-            ..c
-        };
+        let mut c = ChannelChain { config: cfg, ..c };
         let mut rng = SmallRng::seed_from_u64(9);
         // Drive a big sample, then a zero sample with a dwell comparable to
         // the readout-amp time constant: residue remains.
@@ -298,7 +287,11 @@ mod tests {
         assert!(v.value().abs() > 1e-3, "crosstalk residue = {v}");
         // At the real chip's 488 ns dwell the residue is negligible.
         c.reset_settling();
-        c.process_sample(Ampere::from_nano(100.0), Seconds::from_nano(488.0), &mut rng);
+        c.process_sample(
+            Ampere::from_nano(100.0),
+            Seconds::from_nano(488.0),
+            &mut rng,
+        );
         let v = c.process_sample(Ampere::ZERO, Seconds::from_nano(488.0), &mut rng);
         assert!(v.value().abs() < 1e-4, "settled residue = {v}");
     }
@@ -316,9 +309,8 @@ mod tests {
             })
             .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64)
-            .sqrt();
+        let sd =
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64).sqrt();
         let expected = ChainConfig::default().input_noise.value() * 5600.0 * 1000.0;
         assert!((sd - expected).abs() / expected < 0.1, "sd = {sd}");
     }

@@ -10,6 +10,8 @@ use super::chain::{ChainConfig, ChannelChain};
 use super::pixel::{NeuroPixel, NeuroPixelConfig};
 use crate::array::{ArrayGeometry, PixelAddress};
 use crate::error::ChipError;
+use crate::health::{HealthMonitor, PixelHealth, SerialLinkStats, YieldReport};
+use bsa_faults::CompiledFaults;
 use bsa_neuro::culture::Culture;
 use bsa_units::{Hertz, Seconds, Siemens, Volt};
 use rand::rngs::SmallRng;
@@ -210,6 +212,24 @@ impl Recording {
     }
 }
 
+/// Median of a slice (0.0 when empty).
+fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted[sorted.len() / 2]
+}
+
+/// Applies an injected gain-chain clipping limit to one output sample.
+fn clipped(limit: Option<Volt>, v: Volt) -> f64 {
+    match limit {
+        Some(l) => v.value().clamp(-l.value().abs(), l.value().abs()),
+        None => v.value(),
+    }
+}
+
 /// A neural-recording chip instance (one die).
 #[derive(Debug, Clone)]
 pub struct NeuroChip {
@@ -218,6 +238,8 @@ pub struct NeuroChip {
     pixels: Vec<NeuroPixel>,
     channels: Vec<ChannelChain>,
     calibrated: bool,
+    faults: CompiledFaults,
+    health: HealthMonitor,
 }
 
 impl NeuroChip {
@@ -240,6 +262,8 @@ impl NeuroChip {
             pixels,
             channels,
             calibrated: false,
+            faults: CompiledFaults::none(config.geometry.rows(), config.geometry.cols()),
+            health: HealthMonitor::all_healthy(config.geometry),
             config,
         })
     }
@@ -268,8 +292,54 @@ impl NeuroChip {
         Ok(&self.pixels[self.config.geometry.index_of(addr)?])
     }
 
+    /// Injects a compiled fault map into the die: every pixel takes on its
+    /// planned defects, lost multiplexer channels go silent, and
+    /// [`calibrate`](Self::calibrate)'s self-test reclassifies pixel
+    /// health. Serial-bit-error faults are inert here (the neural chip
+    /// streams analog samples, not serial words).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::FaultGeometryMismatch`] if the map was compiled
+    /// for a different array geometry.
+    pub fn inject_faults(&mut self, faults: &CompiledFaults) -> Result<(), ChipError> {
+        let g = self.config.geometry;
+        if faults.rows() != g.rows() || faults.cols() != g.cols() {
+            return Err(ChipError::FaultGeometryMismatch {
+                map: (faults.rows(), faults.cols()),
+                chip: (g.rows(), g.cols()),
+            });
+        }
+        for (pixel, &f) in self.pixels.iter_mut().zip(faults.pixels().iter()) {
+            pixel.set_faults(f);
+        }
+        self.faults = faults.clone();
+        Ok(())
+    }
+
+    /// The fault map currently injected (fault-free for a pristine die).
+    pub fn faults(&self) -> &CompiledFaults {
+        &self.faults
+    }
+
+    /// Per-pixel health as established by the last
+    /// [`calibrate`](Self::calibrate) self-test.
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// The multiplexer channels currently lost to injected faults, sorted.
+    pub fn lost_channels(&self) -> &[usize] {
+        self.faults.lost_channels()
+    }
+
     /// Calibrates all pixels (rows in parallel, columns in sequence, as in
-    /// the paper) and all channel gain stages, at absolute time `now`.
+    /// the paper) and all channel gain stages, at absolute time `now`,
+    /// then self-tests every pixel and updates [`health`](Self::health):
+    /// a pixel with no response to a capacitively applied test amplitude
+    /// is dead; one whose calibration residual is grossly out of family,
+    /// or whose output would clip inside the ±5 mV signal window, is
+    /// flagged out-of-family.
     pub fn calibrate(&mut self, now: Seconds) {
         for p in &mut self.pixels {
             p.calibrate(now);
@@ -277,7 +347,66 @@ impl NeuroChip {
         for c in &mut self.channels {
             c.calibrate();
         }
+        self.self_test(now);
         self.calibrated = true;
+    }
+
+    /// Classifies every pixel from a two-point capacitive self-test.
+    fn self_test(&mut self, now: Seconds) {
+        let test = Volt::from_milli(1.0);
+        let mut residuals = Vec::with_capacity(self.pixels.len());
+        let mut responses = Vec::with_capacity(self.pixels.len());
+        for p in &self.pixels {
+            let base = p.read(Volt::ZERO, now);
+            residuals.push(base.value().abs());
+            responses.push((p.read(test, now) - base).value().abs());
+        }
+        // A healthy pixel converts 1 mV to tens of nA of ΔI; 1 nA floors
+        // the threshold so an (improbable) all-dead array still classifies.
+        let dead_threshold = (0.2 * median(&responses)).max(1e-9);
+        // Residuals after calibration are injection-offset sized (tens of
+        // nA); a µA-class residual means something besides mismatch leaks
+        // into the pixel.
+        let residual_limit = 500e-9;
+        // Output swing a full-scale 5 mV signal produces at this channel
+        // gain — a clip limit inside it truncates real spikes.
+        let full_scale_out = 5.0 * 1e-3 * self.nominal_voltage_gain();
+
+        let cols_per_ch = self.timing.columns_per_channel;
+        let cols = self.config.geometry.cols();
+        let mut health = HealthMonitor::all_healthy(self.config.geometry);
+        for (i, p) in self.pixels.iter().enumerate() {
+            let channel = (i % cols) / cols_per_ch;
+            let state = if self.faults.channel_lost(channel) {
+                // Unobservable through a lost multiplexer channel: mask it.
+                PixelHealth::Dead
+            } else if responses[i] < dead_threshold {
+                PixelHealth::Dead
+            } else if residuals[i] > residual_limit
+                || p.faults()
+                    .clip_limit
+                    .is_some_and(|l| l.value() < full_scale_out)
+            {
+                PixelHealth::OutOfFamily
+            } else {
+                PixelHealth::Healthy
+            };
+            health.set_state(i, state);
+        }
+        self.health = health;
+    }
+
+    /// Summarizes the die: pixel health from the last self-test, lost
+    /// channels and injected fault counts. The neural chip has no serial
+    /// word link, so serial statistics are always zero.
+    pub fn yield_report(&self) -> YieldReport {
+        YieldReport::new(
+            &self.health,
+            self.faults.lost_channels().to_vec(),
+            self.config.channels,
+            self.faults.injected_counts().clone(),
+            SerialLinkStats::default(),
+        )
     }
 
     /// Mean pixel conversion gain × chain gain × transimpedance: the
@@ -311,8 +440,7 @@ impl NeuroChip {
         let mut frame_rng = SmallRng::seed_from_u64(self.config.seed ^ 0xF0F0);
 
         for f in 0..frames {
-            let frame_start =
-                Seconds::new(t0.value() + f as f64 * timing.frame_period.value());
+            let frame_start = Seconds::new(t0.value() + f as f64 * timing.frame_period.value());
             if (frame_start - last_cal).value() >= self.config.recalibration_interval.value() {
                 self.calibrate(frame_start);
                 last_cal = frame_start;
@@ -332,16 +460,20 @@ impl NeuroChip {
                                 + row as f64 * timing.row_period.value()
                                 + slot as f64 * timing.pixel_dwell.value(),
                         );
+                        let idx = row * geometry.cols() + col;
+                        if self.faults.channel_lost(ch_idx) {
+                            samples[idx] = 0.0;
+                            continue;
+                        }
                         let (x, y) = geometry.position_of(addr);
                         let v_cleft = culture.cleft_voltage_at(x, y, t);
-                        let idx = row * geometry.cols() + col;
                         let i_diff = self.pixels[idx].read(v_cleft, t);
                         let v = self.channels[ch_idx].process_sample(
                             i_diff,
                             timing.pixel_dwell,
                             &mut frame_rng,
                         );
-                        samples[idx] = v.value();
+                        samples[idx] = clipped(self.pixels[idx].faults().clip_limit, v);
                     }
                 }
             }
@@ -384,8 +516,7 @@ impl NeuroChip {
 
         let mut out = Vec::with_capacity(frames);
         for f in 0..frames {
-            let frame_start =
-                Seconds::new(t0.value() + f as f64 * timing.frame_period.value());
+            let frame_start = Seconds::new(t0.value() + f as f64 * timing.frame_period.value());
             let mut samples = vec![0.0; geometry.len()];
             for row in 0..geometry.rows() {
                 for ch in &mut self.channels {
@@ -400,16 +531,20 @@ impl NeuroChip {
                                 + row as f64 * timing.row_period.value()
                                 + slot as f64 * timing.pixel_dwell.value(),
                         );
+                        let idx = row * geometry.cols() + col;
+                        if self.faults.channel_lost(ch_idx) {
+                            samples[idx] = 0.0;
+                            continue;
+                        }
                         let (x, y) = geometry.position_of(addr);
                         let v_cleft = culture.cleft_voltage_at(x, y, t);
-                        let idx = row * geometry.cols() + col;
                         let i_diff = self.pixels[idx].read(v_cleft, t);
                         let v = self.channels[ch_idx].process_sample(
                             i_diff,
                             timing.pixel_dwell,
                             &mut frame_rng,
                         );
-                        samples[idx] = v.value();
+                        samples[idx] = clipped(self.pixels[idx].faults().clip_limit, v);
                     }
                 }
             }
@@ -443,13 +578,24 @@ impl NeuroChip {
                 for ch_idx in 0..self.channels.len() {
                     let col = ch_idx * cols_per_ch + slot;
                     let idx = row * self.config.geometry.cols() + col;
+                    if self.faults.channel_lost(ch_idx) {
+                        out[idx] = 0.0;
+                        continue;
+                    }
+                    let clip = self.pixels[idx].faults().clip_limit;
                     self.channels[ch_idx].reset_settling();
                     let i0 = self.pixels[idx].read(Volt::ZERO, now);
-                    let v0 = self.channels[ch_idx].process_sample(i0, dwell, &mut rng);
+                    let v0 = clipped(
+                        clip,
+                        self.channels[ch_idx].process_sample(i0, dwell, &mut rng),
+                    );
                     self.channels[ch_idx].reset_settling();
                     let i1 = self.pixels[idx].read(test_amplitude, now);
-                    let v1 = self.channels[ch_idx].process_sample(i1, dwell, &mut rng);
-                    out[idx] = (v1 - v0).value() / test_amplitude.value();
+                    let v1 = clipped(
+                        clip,
+                        self.channels[ch_idx].process_sample(i1, dwell, &mut rng),
+                    );
+                    out[idx] = (v1 - v0) / test_amplitude.value();
                 }
             }
         }
@@ -471,13 +617,17 @@ impl NeuroChip {
                 for ch_idx in 0..self.channels.len() {
                     let col = ch_idx * cols_per_ch + slot;
                     let idx = row * self.config.geometry.cols() + col;
+                    if self.faults.channel_lost(ch_idx) {
+                        out[idx] = 0.0;
+                        continue;
+                    }
                     let i_diff = self.pixels[idx].read(Volt::ZERO, now);
                     let v = self.channels[ch_idx].process_sample(
                         i_diff,
                         Seconds::from_micro(10.0),
                         &mut rng,
                     );
-                    out[idx] = v.value();
+                    out[idx] = clipped(self.pixels[idx].faults().clip_limit, v);
                 }
             }
         }
@@ -489,7 +639,7 @@ impl NeuroChip {
 mod tests {
     use super::*;
     use bsa_neuro::culture::{Culture, CultureConfig};
-    use bsa_units::Meter;
+    use bsa_units::{Ampere, Meter};
 
     fn small_config() -> NeuroChipConfig {
         NeuroChipConfig {
@@ -501,12 +651,7 @@ mod tests {
 
     #[test]
     fn paper_timing_numbers() {
-        let t = ScanTiming::new(
-            ArrayGeometry::neuro_128x128(),
-            Hertz::from_kilo(2.0),
-            16,
-        )
-        .unwrap();
+        let t = ScanTiming::new(ArrayGeometry::neuro_128x128(), Hertz::from_kilo(2.0), 16).unwrap();
         // Frame 500 µs, row 3.9 µs, dwell 488 ns, 8 columns per channel.
         assert!((t.frame_period.as_micro() - 500.0).abs() < 1e-9);
         assert!((t.row_period.as_micro() - 3.90625).abs() < 1e-6);
@@ -516,23 +661,15 @@ mod tests {
 
     #[test]
     fn timing_rejects_bad_channel_split() {
-        assert!(ScanTiming::new(
-            ArrayGeometry::neuro_128x128(),
-            Hertz::from_kilo(2.0),
-            10
-        )
-        .is_err());
+        assert!(
+            ScanTiming::new(ArrayGeometry::neuro_128x128(), Hertz::from_kilo(2.0), 10).is_err()
+        );
         assert!(ScanTiming::new(ArrayGeometry::neuro_128x128(), Hertz::ZERO, 16).is_err());
     }
 
     #[test]
     fn sample_times_are_rolling_shutter() {
-        let t = ScanTiming::new(
-            ArrayGeometry::neuro_128x128(),
-            Hertz::from_kilo(2.0),
-            16,
-        )
-        .unwrap();
+        let t = ScanTiming::new(ArrayGeometry::neuro_128x128(), Hertz::from_kilo(2.0), 16).unwrap();
         let t00 = t.sample_time(0, PixelAddress::new(0, 0));
         let t10 = t.sample_time(0, PixelAddress::new(1, 0));
         let t01 = t.sample_time(0, PixelAddress::new(0, 1));
@@ -573,8 +710,7 @@ mod tests {
         let uncal = chip.record_uncalibrated(&culture, Seconds::ZERO, 1);
         let spread = |fr: &Frame| {
             let m = fr.samples().iter().sum::<f64>() / fr.samples().len() as f64;
-            (fr.samples().iter().map(|x| (x - m).powi(2)).sum::<f64>()
-                / fr.samples().len() as f64)
+            (fr.samples().iter().map(|x| (x - m).powi(2)).sum::<f64>() / fr.samples().len() as f64)
                 .sqrt()
         };
         let s_cal = spread(&cal.frames()[0]);
@@ -612,8 +748,8 @@ mod tests {
         });
 
         let rec = chip.record(&culture, Seconds::ZERO, 12); // 6 ms
-        // Remove each pixel's static offset (injection residual) the way
-        // any real readout pipeline does, then look for the transient.
+                                                            // Remove each pixel's static offset (injection residual) the way
+                                                            // any real readout pipeline does, then look for the transient.
         let detrended_peak = |series: &[f64]| {
             let mean = series.iter().sum::<f64>() / series.len() as f64;
             series
@@ -674,6 +810,138 @@ mod tests {
     }
 
     #[test]
+    fn self_test_masks_injected_dead_pixels() {
+        use crate::health::{DegradationMode, PixelHealth};
+        use bsa_faults::{FaultKind, InjectionPlan};
+        let mut chip = NeuroChip::new(small_config()).unwrap();
+        let faults = InjectionPlan::new(21)
+            .at(3, 4, FaultKind::DeadPixel)
+            .at(10, 12, FaultKind::DeadPixel)
+            .compile(16, 16);
+        chip.inject_faults(&faults).unwrap();
+        chip.calibrate(Seconds::ZERO);
+        let h = chip.health();
+        assert_eq!(
+            h.state_at(PixelAddress::new(3, 4)).unwrap(),
+            PixelHealth::Dead
+        );
+        assert_eq!(
+            h.state_at(PixelAddress::new(10, 12)).unwrap(),
+            PixelHealth::Dead
+        );
+        assert_eq!(h.dead_indices().len(), 2);
+        let report = chip.yield_report();
+        assert_eq!(report.dead, 2);
+        assert_eq!(report.degradation, DegradationMode::Degraded);
+    }
+
+    #[test]
+    fn lost_channel_goes_silent_and_is_masked() {
+        use crate::health::PixelHealth;
+        use bsa_faults::InjectionPlan;
+        let mut chip = NeuroChip::new(small_config()).unwrap();
+        // 16 columns over 4 channels: channel 1 serves columns 4–7.
+        let faults = InjectionPlan::new(22).lose_channel(1).compile(16, 16);
+        chip.inject_faults(&faults).unwrap();
+        let culture = Culture::empty(Meter::from_milli(1.0), Meter::from_milli(1.0));
+        let rec = chip.record(&culture, Seconds::ZERO, 2);
+        for row in 0..16 {
+            for col in 4..8 {
+                assert_eq!(rec.frames()[0].at(PixelAddress::new(row, col)), 0.0);
+                assert_eq!(
+                    chip.health().state_at(PixelAddress::new(row, col)).unwrap(),
+                    PixelHealth::Dead
+                );
+            }
+        }
+        // A column on a live channel still responds and stays healthy.
+        assert_eq!(
+            chip.health().state_at(PixelAddress::new(0, 0)).unwrap(),
+            PixelHealth::Healthy
+        );
+        let report = chip.yield_report();
+        assert_eq!(report.lost_channels, vec![1]);
+        assert_eq!(report.dead, 64);
+    }
+
+    #[test]
+    fn gain_clipping_clamps_output_and_flags_pixel() {
+        use crate::health::PixelHealth;
+        use bsa_faults::{FaultKind, InjectionPlan};
+        let mut chip = NeuroChip::new(small_config()).unwrap();
+        let clip = Volt::from_milli(50.0); // well inside the 5 mV window's swing
+        let faults = InjectionPlan::new(23)
+            .at(2, 2, FaultKind::GainClipping { limit: clip })
+            .compile(16, 16);
+        chip.inject_faults(&faults).unwrap();
+        chip.calibrate(Seconds::ZERO);
+        assert_eq!(
+            chip.health().state_at(PixelAddress::new(2, 2)).unwrap(),
+            PixelHealth::OutOfFamily
+        );
+        // A 5 mV test tone cannot exceed the clip at the output: the two
+        // clipped reads differ by at most 2 × the limit.
+        let map = chip.gain_map(Volt::from_milli(5.0), Seconds::ZERO);
+        let idx = 2 * 16 + 2;
+        assert!(
+            map[idx] * 5e-3 <= 2.0 * clip.value() + 1e-12,
+            "clipped gain = {}",
+            map[idx]
+        );
+        let healthy_gain = map[0];
+        assert!(
+            map[idx] < 0.5 * healthy_gain,
+            "clipped {} vs healthy {healthy_gain}",
+            map[idx]
+        );
+    }
+
+    #[test]
+    fn leaky_pixel_is_flagged_out_of_family() {
+        use crate::health::PixelHealth;
+        use bsa_faults::{FaultKind, InjectionPlan};
+        let mut chip = NeuroChip::new(small_config()).unwrap();
+        let faults = InjectionPlan::new(24)
+            .at(
+                5,
+                5,
+                FaultKind::LeakyElectrode {
+                    leakage: Ampere::from_micro(2.0),
+                },
+            )
+            .compile(16, 16);
+        chip.inject_faults(&faults).unwrap();
+        chip.calibrate(Seconds::ZERO);
+        assert_eq!(
+            chip.health().state_at(PixelAddress::new(5, 5)).unwrap(),
+            PixelHealth::OutOfFamily,
+            "a µA-class residual is far out of the injection-offset family"
+        );
+    }
+
+    #[test]
+    fn neuro_fault_geometry_is_checked() {
+        use bsa_faults::InjectionPlan;
+        let mut chip = NeuroChip::new(small_config()).unwrap();
+        let wrong = InjectionPlan::new(1).compile(8, 16);
+        assert!(matches!(
+            chip.inject_faults(&wrong),
+            Err(ChipError::FaultGeometryMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn clean_neuro_die_reports_full_performance() {
+        use crate::health::DegradationMode;
+        let mut chip = NeuroChip::new(small_config()).unwrap();
+        chip.calibrate(Seconds::ZERO);
+        let report = chip.yield_report();
+        assert_eq!(report.degradation, DegradationMode::FullPerformance);
+        assert_eq!(report.total_channels, 4);
+        assert!(report.is_clean());
+    }
+
+    #[test]
     fn random_culture_smoke_test() {
         use rand::rngs::SmallRng;
         use rand::SeedableRng;
@@ -687,6 +955,9 @@ mod tests {
         let mut chip = NeuroChip::new(small_config()).unwrap();
         let rec = chip.record(&culture, Seconds::ZERO, 10);
         assert_eq!(rec.len(), 10);
-        assert!(rec.frames().iter().all(|f| f.samples().iter().all(|s| s.is_finite())));
+        assert!(rec
+            .frames()
+            .iter()
+            .all(|f| f.samples().iter().all(|s| s.is_finite())));
     }
 }

@@ -13,6 +13,6 @@ mod chain;
 mod frame;
 mod pixel;
 
-pub use chain::{ChannelChain, ChainConfig, GainStage};
+pub use chain::{ChainConfig, ChannelChain, GainStage};
 pub use frame::{Frame, NeuroChip, NeuroChipConfig, Recording, ScanTiming};
 pub use pixel::{NeuroPixel, NeuroPixelConfig};

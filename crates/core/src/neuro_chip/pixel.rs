@@ -12,6 +12,7 @@
 use bsa_circuit::mismatch::PelgromModel;
 use bsa_circuit::mosfet::{Mosfet, MosfetParams};
 use bsa_circuit::noise::GaussianSampler;
+use bsa_faults::PixelFaults;
 use bsa_units::{Ampere, Farad, Seconds, Siemens, Volt};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -80,15 +81,15 @@ pub struct NeuroPixel {
     stored_gate: Option<Volt>,
     /// Time of the last calibration.
     cal_time: Seconds,
+    /// Injected defects (default: none).
+    faults: PixelFaults,
 }
 
 impl NeuroPixel {
     /// Instantiates a pixel, sampling its device mismatch from `rng`.
     pub fn sample<R: Rng>(config: NeuroPixelConfig, rng: &mut R) -> Self {
         let mut g = GaussianSampler::new();
-        let sensor = config
-            .pelgrom
-            .instantiate(config.sensor_fet.clone(), rng);
+        let sensor = config.pelgrom.instantiate(config.sensor_fet.clone(), rng);
         let cal_err = config.cal_current_rel_sigma * g.sample(rng);
         let injection_offset = config.injection_sigma * g.sample(rng);
         let droop_rate = config.droop_rate_v_per_s * g.sample(rng);
@@ -98,6 +99,7 @@ impl NeuroPixel {
             droop_rate,
             stored_gate: None,
             cal_time: Seconds::ZERO,
+            faults: PixelFaults::default(),
             sensor,
             config,
         }
@@ -112,6 +114,7 @@ impl NeuroPixel {
             droop_rate: 0.0,
             stored_gate: None,
             cal_time: Seconds::ZERO,
+            faults: PixelFaults::default(),
             config,
         }
     }
@@ -129,6 +132,19 @@ impl NeuroPixel {
     /// This pixel's sensor transistor (with its mismatch).
     pub fn sensor(&self) -> &Mosfet {
         &self.sensor
+    }
+
+    /// The injected defects on this pixel.
+    pub fn faults(&self) -> &PixelFaults {
+        &self.faults
+    }
+
+    /// Injects (or clears, with the default value) defects on this pixel.
+    /// Only the dead, leakage and gain-clipping components act on a neural
+    /// pixel; counter- and comparator-class faults belong to the DNA
+    /// converter and are inert here.
+    pub fn set_faults(&mut self, faults: PixelFaults) {
+        self.faults = faults;
     }
 
     /// Performs the S1/M2 calibration at absolute time `now`: the gate is
@@ -175,12 +191,18 @@ impl NeuroPixel {
     /// Reads the pixel at time `now` with cleft potential `v_cleft`:
     /// returns the difference current ΔI = I_M1 − I_M2 that the regulation
     /// loop (A, M3, M4) nulls and the column amplifier magnifies.
+    ///
+    /// A dead pixel (broken M1 or stuck S3) contributes no difference
+    /// current at all; an injected electrode leakage adds directly to ΔI.
     pub fn read(&self, v_cleft: Volt, now: Seconds) -> Ampere {
+        if self.faults.dead {
+            return Ampere::ZERO;
+        }
         let vg = self.effective_gate(now) + v_cleft * self.config.coupling_ratio;
         let i_m1 = self
             .sensor
             .drain_current(vg, self.config.v_source, self.config.v_drain);
-        i_m1 - self.cal_current_actual
+        i_m1 - self.cal_current_actual + self.faults.leakage
     }
 
     /// Small-signal conversion gain ∂ΔI/∂V_cleft at the calibrated
@@ -232,9 +254,8 @@ mod tests {
         let signal = {
             let mut q = p.clone();
             q.calibrate(Seconds::ZERO);
-            (q.read(Volt::from_micro(100.0), Seconds::ZERO)
-                - q.read(Volt::ZERO, Seconds::ZERO))
-            .abs()
+            (q.read(Volt::from_micro(100.0), Seconds::ZERO) - q.read(Volt::ZERO, Seconds::ZERO))
+                .abs()
         };
         assert!(
             median_offset > 5.0 * signal.value(),
@@ -261,7 +282,10 @@ mod tests {
         let base = p.read(Volt::ZERO, Seconds::ZERO);
         let d = (p.read(Volt::from_micro(100.0), Seconds::ZERO) - base).value();
         let predicted = gain.value() * 100e-6;
-        assert!((d - predicted).abs() / predicted < 0.05, "d {d} vs {predicted}");
+        assert!(
+            (d - predicted).abs() / predicted < 0.05,
+            "d {d} vs {predicted}"
+        );
     }
 
     #[test]
@@ -276,7 +300,10 @@ mod tests {
             p.calibrate(Seconds::ZERO);
         }
         let spread = |pixels: &[NeuroPixel], now: Seconds| -> f64 {
-            let v: Vec<f64> = pixels.iter().map(|p| p.read(Volt::ZERO, now).value()).collect();
+            let v: Vec<f64> = pixels
+                .iter()
+                .map(|p| p.read(Volt::ZERO, now).value())
+                .collect();
             let m = v.iter().sum::<f64>() / v.len() as f64;
             (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
         };
@@ -307,8 +334,7 @@ mod tests {
             currents.push(i_m1.value());
         }
         let mean = currents.iter().sum::<f64>() / currents.len() as f64;
-        let sd = (currents.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / currents.len() as f64)
+        let sd = (currents.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / currents.len() as f64)
             .sqrt();
         // Residual spread ≲ 1 % (M2 mismatch dominated), versus the tens of
         // percent an uncalibrated array shows.
@@ -321,6 +347,31 @@ mod tests {
         p.calibrate(Seconds::ZERO);
         let r = p.read(Volt::ZERO, Seconds::ZERO).abs();
         assert!(r.value() < 1e-12, "nominal residual = {r}");
+    }
+
+    #[test]
+    fn dead_pixel_gives_no_difference_current() {
+        let mut p = sampled(11);
+        p.calibrate(Seconds::ZERO);
+        let mut f = PixelFaults::default();
+        f.merge(bsa_faults::FaultKind::DeadPixel);
+        p.set_faults(f);
+        assert_eq!(p.read(Volt::from_milli(5.0), Seconds::ZERO), Ampere::ZERO);
+        assert_eq!(p.read(Volt::ZERO, Seconds::ZERO), Ampere::ZERO);
+    }
+
+    #[test]
+    fn leakage_offsets_the_difference_current() {
+        let mut p = sampled(12);
+        p.calibrate(Seconds::ZERO);
+        let clean = p.read(Volt::ZERO, Seconds::ZERO);
+        let mut f = PixelFaults::default();
+        f.merge(bsa_faults::FaultKind::LeakyElectrode {
+            leakage: Ampere::from_micro(1.0),
+        });
+        p.set_faults(f);
+        let leaky = p.read(Volt::ZERO, Seconds::ZERO);
+        assert!(((leaky - clean).value() - 1e-6).abs() < 1e-12);
     }
 
     #[test]

@@ -6,8 +6,8 @@ use bsa_core::dna_chip::{
     ConversionResult, DnaChip, DnaChipConfig, DnaPixel, DnaPixelConfig, PixelReading, SampleMix,
 };
 use bsa_core::neuro_chip::{
-    ChainConfig, ChannelChain, NeuroChip, NeuroChipConfig, NeuroPixel, NeuroPixelConfig,
-    Recording, ScanTiming,
+    ChainConfig, ChannelChain, NeuroChip, NeuroChipConfig, NeuroPixel, NeuroPixelConfig, Recording,
+    ScanTiming,
 };
 use bsa_core::ChipError;
 

@@ -112,10 +112,7 @@ impl MatchCaller {
     /// Discrimination ratio: median matched current over median
     /// non-matched current, given ground-truth labels. Returns `None`
     /// unless both classes are present.
-    pub fn discrimination_ratio(
-        currents_a: &[f64],
-        truth_match: &[bool],
-    ) -> Option<f64> {
+    pub fn discrimination_ratio(currents_a: &[f64], truth_match: &[bool]) -> Option<f64> {
         let matched: Vec<f64> = currents_a
             .iter()
             .zip(truth_match)
@@ -175,10 +172,8 @@ impl CallAccuracy {
 
     /// Overall accuracy.
     pub fn accuracy(&self) -> f64 {
-        let total = self.true_positives
-            + self.false_positives
-            + self.true_negatives
-            + self.false_negatives;
+        let total =
+            self.true_positives + self.false_positives + self.true_negatives + self.false_negatives;
         if total == 0 {
             1.0
         } else {

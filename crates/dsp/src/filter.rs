@@ -179,7 +179,9 @@ mod tests {
     use super::*;
 
     fn sine(f: f64, fs: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|k| (2.0 * PI * f * k as f64 / fs).sin()).collect()
+        (0..n)
+            .map(|k| (2.0 * PI * f * k as f64 / fs).sin())
+            .collect()
     }
 
     fn rms(xs: &[f64]) -> f64 {
@@ -194,7 +196,11 @@ mod tests {
         f.reset();
         let high = f.process_slice(&sine(900.0, fs, 4000));
         assert!(rms(&low[2000..]) > 0.65, "low rms = {}", rms(&low[2000..]));
-        assert!(rms(&high[2000..]) < 0.05, "high rms = {}", rms(&high[2000..]));
+        assert!(
+            rms(&high[2000..]) < 0.05,
+            "high rms = {}",
+            rms(&high[2000..])
+        );
     }
 
     #[test]
@@ -202,7 +208,11 @@ mod tests {
         let fs = 2000.0;
         let mut f = Biquad::highpass(10.0, fs);
         let out = f.process_slice(&vec![1.0; 4000]);
-        assert!(out.last().unwrap().abs() < 1e-3, "DC leak = {}", out.last().unwrap());
+        assert!(
+            out.last().unwrap().abs() < 1e-3,
+            "DC leak = {}",
+            out.last().unwrap()
+        );
     }
 
     #[test]
@@ -210,7 +220,10 @@ mod tests {
         let fs = 2000.0;
         let f = Biquad::lowpass(100.0, fs);
         let g = f.magnitude_at(100.0, fs);
-        assert!((g - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01, "g = {g}");
+        assert!(
+            (g - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01,
+            "g = {g}"
+        );
     }
 
     #[test]
@@ -220,7 +233,10 @@ mod tests {
         let analytic = f.magnitude_at(60.0, fs);
         let out = f.process_slice(&sine(60.0, fs, 8000));
         let measured = rms(&out[4000..]) / rms(&sine(60.0, fs, 8000)[4000..]);
-        assert!((measured - analytic).abs() < 0.02, "{measured} vs {analytic}");
+        assert!(
+            (measured - analytic).abs() < 0.02,
+            "{measured} vs {analytic}"
+        );
     }
 
     #[test]
@@ -251,7 +267,9 @@ mod tests {
 
     #[test]
     fn moving_average_smooths_and_preserves_mean() {
-        let xs: Vec<f64> = (0..100).map(|k| if k % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|k| if k % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let out = moving_average(&xs, 5);
         assert_eq!(out.len(), xs.len());
         assert!(rms(&out[10..90]) < rms(&xs));

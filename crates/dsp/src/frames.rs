@@ -57,6 +57,15 @@ impl FrameStack {
         self.cols
     }
 
+    /// One frame's row-major samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn frame(&self, index: usize) -> &[f64] {
+        &self.frames[index]
+    }
+
     /// Time series of one pixel across the stack.
     ///
     /// # Panics

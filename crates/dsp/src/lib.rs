@@ -10,6 +10,8 @@
 //!   detection scoring against ground truth;
 //! * [`frames`] — per-pixel baseline removal and activity maps over frame
 //!   stacks from the 128×128 array;
+//! * [`masking`] — dead-pixel masking and neighbor interpolation driven
+//!   by the chip-side health monitor's usability mask;
 //! * [`sorting`] — spike sorting: separating units that share a pixel;
 //! * [`spectrum`] — periodograms and noise-floor estimation;
 //! * [`snr`] — signal-to-noise estimation;
@@ -22,6 +24,7 @@
 pub mod calling;
 pub mod filter;
 pub mod frames;
+pub mod masking;
 pub mod snr;
 pub mod sorting;
 pub mod spectrum;

@@ -85,8 +85,9 @@ mod tests {
     #[test]
     fn event_blanking_keeps_noise_estimate_clean() {
         // Huge events must not inflate the noise floor.
-        let mut series: Vec<f64> =
-            (0..400).map(|k| if k % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let mut series: Vec<f64> = (0..400)
+            .map(|k| if k % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
         for i in (20..400).step_by(40) {
             series[i] = 50.0;
         }

@@ -174,9 +174,7 @@ pub fn sort_spikes(snippets: &[Snippet], k: usize) -> SortResult {
             .collect()
     };
 
-    let dist2 = |a: &[f64; 3], b: &[f64; 3]| -> f64 {
-        (0..3).map(|d| (a[d] - b[d]).powi(2)).sum()
-    };
+    let dist2 = |a: &[f64; 3], b: &[f64; 3]| -> f64 { (0..3).map(|d| (a[d] - b[d]).powi(2)).sum() };
 
     let mut labels = vec![0usize; normed.len()];
     for _ in 0..50 {

@@ -47,7 +47,11 @@ impl Periodogram {
             }
             let power = (re * re + im * im) / win_power;
             // One-sided: double everything except Nyquist.
-            let scale = if k == half && n.is_multiple_of(2) { 1.0 } else { 2.0 };
+            let scale = if k == half && n.is_multiple_of(2) {
+                1.0
+            } else {
+                2.0
+            };
             frequencies.push(k as f64 * fs / n as f64);
             psd.push(scale * power / fs);
         }
@@ -123,7 +127,9 @@ mod tests {
     use super::*;
 
     fn sine(f: f64, fs: f64, n: usize, amp: f64) -> Vec<f64> {
-        (0..n).map(|k| amp * (2.0 * PI * f * k as f64 / fs).sin()).collect()
+        (0..n)
+            .map(|k| amp * (2.0 * PI * f * k as f64 / fs).sin())
+            .collect()
     }
 
     #[test]
@@ -131,7 +137,11 @@ mod tests {
         let fs = 1000.0;
         let x = sine(100.0, fs, 1024, 1.0);
         let p = Periodogram::compute(&x, fs);
-        assert!((p.peak_frequency() - 100.0).abs() < 2.0, "peak at {}", p.peak_frequency());
+        assert!(
+            (p.peak_frequency() - 100.0).abs() < 2.0,
+            "peak at {}",
+            p.peak_frequency()
+        );
     }
 
     #[test]
@@ -159,7 +169,10 @@ mod tests {
         assert!(slope.abs() < 0.3, "white slope = {slope}");
         // Parseval: total band power ≈ variance (1/12 for uniform).
         let total = p.band_power(0.0, 500.0);
-        assert!((total - 1.0 / 12.0).abs() / (1.0 / 12.0) < 0.1, "total = {total}");
+        assert!(
+            (total - 1.0 / 12.0).abs() / (1.0 / 12.0) < 0.1,
+            "total = {total}"
+        );
     }
 
     #[test]

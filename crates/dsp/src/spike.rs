@@ -137,17 +137,14 @@ impl DetectionScore {
 
 /// Matches detections to ground-truth event indices with a tolerance (in
 /// samples); each truth event consumes at most one detection.
-pub fn score_detections(
-    detected: &[usize],
-    truth: &[usize],
-    tolerance: usize,
-) -> DetectionScore {
+pub fn score_detections(detected: &[usize], truth: &[usize], tolerance: usize) -> DetectionScore {
     let mut used = vec![false; detected.len()];
     let mut tp = 0usize;
     for &t in truth {
-        let hit = detected.iter().enumerate().find(|(k, &d)| {
-            !used[*k] && d.abs_diff(t) <= tolerance
-        });
+        let hit = detected
+            .iter()
+            .enumerate()
+            .find(|(k, &d)| !used[*k] && d.abs_diff(t) <= tolerance);
         if let Some((k, _)) = hit {
             used[k] = true;
             tp += 1;

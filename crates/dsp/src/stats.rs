@@ -206,9 +206,7 @@ mod tests {
     #[test]
     fn welford_is_stable_for_offset_data() {
         // Large offset + tiny variance: naive sum-of-squares would lose it.
-        let s: RunningStats = (0..1000)
-            .map(|k| 1e9 + (k % 2) as f64 * 1e-3)
-            .collect();
+        let s: RunningStats = (0..1000).map(|k| 1e9 + (k % 2) as f64 * 1e-3).collect();
         // Rounding at the 1e9 offset scale limits accuracy to a few %.
         assert!((s.variance() - 2.5e-7).abs() / 2.5e-7 < 0.05);
     }
@@ -251,7 +249,9 @@ mod tests {
         let mut next = || {
             let mut sum = 0.0;
             for _ in 0..12 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 sum += (state >> 11) as f64 / (1u64 << 53) as f64;
             }
             (sum - 6.0) * 2.0 // σ = 2

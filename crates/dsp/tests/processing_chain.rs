@@ -52,7 +52,11 @@ fn bandpass_rescues_detection_under_drift() {
         raw_score.recall()
     );
     assert!(score.recall() >= 0.85, "recall = {}", score.recall());
-    assert!(score.precision() >= 0.85, "precision = {}", score.precision());
+    assert!(
+        score.precision() >= 0.85,
+        "precision = {}",
+        score.precision()
+    );
 }
 
 #[test]

@@ -226,10 +226,7 @@ mod tests {
         let m = HybridizationModel::default();
         let (p, t) = pair(0);
         let tm = m.melting_temperature(&p, &t);
-        assert!(
-            tm.value() > 300.0 && tm.value() < 420.0,
-            "Tm = {tm}"
-        );
+        assert!(tm.value() > 300.0 && tm.value() < 420.0, "Tm = {tm}");
     }
 
     #[test]
@@ -273,7 +270,14 @@ mod tests {
         let c = Molar::from_nano(100.0);
         let mut last = 0.0;
         for k in 1..=10 {
-            let th = m.coverage_after(&p, &t, c, ROOM_TEMPERATURE, 0.0, Seconds::new(60.0 * k as f64));
+            let th = m.coverage_after(
+                &p,
+                &t,
+                c,
+                ROOM_TEMPERATURE,
+                0.0,
+                Seconds::new(60.0 * k as f64),
+            );
             assert!(th >= last);
             last = th;
         }

@@ -88,7 +88,13 @@ impl ImpedanceSensor {
     }
 
     /// Impedance spectrum over logarithmically spaced frequencies.
-    pub fn spectrum(&self, f_lo: Hertz, f_hi: Hertz, points: usize, theta: f64) -> Vec<ImpedancePoint> {
+    pub fn spectrum(
+        &self,
+        f_lo: Hertz,
+        f_hi: Hertz,
+        points: usize,
+        theta: f64,
+    ) -> Vec<ImpedancePoint> {
         bsa_units::sweep::logspace(f_lo.value(), f_hi.value(), points)
             .into_iter()
             .map(|f| self.impedance_at(Hertz::new(f), theta))
@@ -132,7 +138,11 @@ mod tests {
         let s = ImpedanceSensor::default();
         let z = s.impedance_at(Hertz::new(0.01), 0.0);
         let expected = s.r_solution.value() + s.r_ct_bare.value();
-        assert!((z.magnitude - expected).abs() / expected < 0.01, "|Z| = {}", z.magnitude);
+        assert!(
+            (z.magnitude - expected).abs() / expected < 0.01,
+            "|Z| = {}",
+            z.magnitude
+        );
     }
 
     #[test]

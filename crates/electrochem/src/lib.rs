@@ -15,6 +15,8 @@
 //! * [`redox`] — redox-cycling current generation ("currents between 1 pA
 //!   and 100 nA per sensor", refs [12, 13] of the paper), plus the
 //!   single-electrode baseline it is compared against;
+//! * [`redundancy`] — replicated-spot layouts and majority voting, the
+//!   assay-level defense against dead or out-of-family sensor sites;
 //! * [`impedance`] / [`mass`] — the label-free alternatives the paper
 //!   lists as "under development" (refs [7–11]): interfacial-impedance and
 //!   FBAR mass-shift detection.
@@ -50,4 +52,5 @@ pub mod impedance;
 pub mod mass;
 pub mod panel;
 pub mod redox;
+pub mod redundancy;
 pub mod sequence;

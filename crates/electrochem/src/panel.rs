@@ -98,8 +98,9 @@ impl PanelDesign {
             let mut best: Option<DesignedProbe> = None;
             if target.len() >= self.probe_length {
                 for offset in 0..=(target.len() - self.probe_length) {
-                    let window =
-                        DnaSequence::new(target.bases()[offset..offset + self.probe_length].to_vec());
+                    let window = DnaSequence::new(
+                        target.bases()[offset..offset + self.probe_length].to_vec(),
+                    );
                     let probe = window.reverse_complement();
                     let tm = self.model.melting_temperature(&probe, target);
                     if tm < self.tm_min || tm > self.tm_max {
@@ -213,7 +214,11 @@ mod tests {
         let design = PanelDesign::default();
         let panel = design.design(&targets).unwrap();
         for p in &panel {
-            assert!(p.tm >= design.tm_min && p.tm <= design.tm_max, "Tm = {}", p.tm);
+            assert!(
+                p.tm >= design.tm_min && p.tm <= design.tm_max,
+                "Tm = {}",
+                p.tm
+            );
         }
         let spread = PanelDesign::tm_spread(&panel);
         assert!(spread.value() < (design.tm_max - design.tm_min).value() + 1e-9);
@@ -254,7 +259,9 @@ mod tests {
             assert!(own > 0.3, "own-target coverage = {own}");
             for (tj, other) in targets.iter().enumerate() {
                 if tj != p.target_index {
-                    let cross = site.run(other, Molar::from_nano(100.0), &cond).final_coverage;
+                    let cross = site
+                        .run(other, Molar::from_nano(100.0), &cond)
+                        .final_coverage;
                     assert!(
                         cross < own / 10.0,
                         "cross-coverage {cross} vs own {own} (target {tj})"

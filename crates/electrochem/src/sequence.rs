@@ -107,7 +107,7 @@ impl DnaSequence {
     /// Generates a uniformly random sequence of the given length.
     pub fn random<R: Rng>(len: usize, rng: &mut R) -> Self {
         let bases = (0..len)
-            .map(|_| Base::ALL[rng.gen_range(0..4)])
+            .map(|_| Base::ALL[rng.gen_range(0..Base::ALL.len())])
             .collect();
         Self { bases }
     }
@@ -372,7 +372,10 @@ mod tests {
     fn random_sequences_are_seed_deterministic() {
         let mut a = SmallRng::seed_from_u64(5);
         let mut b = SmallRng::seed_from_u64(5);
-        assert_eq!(DnaSequence::random(40, &mut a), DnaSequence::random(40, &mut b));
+        assert_eq!(
+            DnaSequence::random(40, &mut a),
+            DnaSequence::random(40, &mut b)
+        );
     }
 
     #[test]

@@ -8,12 +8,7 @@ use bsa_units::{Molar, Seconds, SquareMeter};
 use proptest::prelude::*;
 
 fn arb_base() -> impl Strategy<Value = Base> {
-    prop_oneof![
-        Just(Base::A),
-        Just(Base::C),
-        Just(Base::G),
-        Just(Base::T)
-    ]
+    prop_oneof![Just(Base::A), Just(Base::C), Just(Base::G), Just(Base::T)]
 }
 
 fn arb_sequence(lo: usize, hi: usize) -> impl Strategy<Value = DnaSequence> {

@@ -159,8 +159,8 @@ impl Culture {
                 }
             };
             // Coupling factor in mean·[1−spread, 1+spread].
-            let coupling =
-                config.coupling_mean * (1.0 + config.coupling_spread * (2.0 * rng.gen::<f64>() - 1.0));
+            let coupling = config.coupling_mean
+                * (1.0 + config.coupling_spread * (2.0 * rng.gen::<f64>() - 1.0));
             neurons.push(CulturedNeuron {
                 x,
                 y,

@@ -205,8 +205,16 @@ impl ApTemplate {
 
     /// Peak-to-peak amplitude of the transient.
     pub fn amplitude(&self) -> Volt {
-        let max = self.samples.iter().cloned().fold(Volt::new(f64::MIN), Volt::max);
-        let min = self.samples.iter().cloned().fold(Volt::new(f64::MAX), Volt::min);
+        let max = self
+            .samples
+            .iter()
+            .cloned()
+            .fold(Volt::new(f64::MIN), Volt::max);
+        let min = self
+            .samples
+            .iter()
+            .cloned()
+            .fold(Volt::new(f64::MAX), Volt::min);
         max - min
     }
 
@@ -258,10 +266,10 @@ mod tests {
 
     #[test]
     fn smaller_cleft_raises_seal_resistance() {
-        let near = CleftJunction::new(Meter::from_nano(30.0), Meter::from_micro(10.0), 0.7)
-            .unwrap();
-        let far = CleftJunction::new(Meter::from_nano(120.0), Meter::from_micro(10.0), 0.7)
-            .unwrap();
+        let near =
+            CleftJunction::new(Meter::from_nano(30.0), Meter::from_micro(10.0), 0.7).unwrap();
+        let far =
+            CleftJunction::new(Meter::from_nano(120.0), Meter::from_micro(10.0), 0.7).unwrap();
         assert!(near.seal_resistance() > far.seal_resistance());
         let ratio = near.seal_resistance().value() / far.seal_resistance().value();
         assert!((ratio - 4.0).abs() < 1e-9);
@@ -298,8 +306,16 @@ mod tests {
     fn template_is_transient_and_biphasic() {
         let j = CleftJunction::nominal();
         let t = ApTemplate::from_hh(&j, Seconds::new(10e-6));
-        let max = t.samples().iter().cloned().fold(Volt::new(f64::MIN), Volt::max);
-        let min = t.samples().iter().cloned().fold(Volt::new(f64::MAX), Volt::min);
+        let max = t
+            .samples()
+            .iter()
+            .cloned()
+            .fold(Volt::new(f64::MIN), Volt::max);
+        let min = t
+            .samples()
+            .iter()
+            .cloned()
+            .fold(Volt::new(f64::MAX), Volt::min);
         assert!(max.value() > 0.0 && min.value() < 0.0, "biphasic shape");
         // Returns near zero at the template edges.
         let first = t.samples().first().unwrap();

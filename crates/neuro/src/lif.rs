@@ -97,8 +97,7 @@ impl Lif {
             return 0.0;
         }
         let t_isi = p.t_refractory.value()
-            + p.tau_m.value()
-                * ((v_inf - p.v_reset) / (v_inf - p.v_threshold)).ln();
+            + p.tau_m.value() * ((v_inf - p.v_reset) / (v_inf - p.v_threshold)).ln();
         1.0 / t_isi
     }
 }

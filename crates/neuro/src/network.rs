@@ -161,8 +161,7 @@ impl SynapticNetwork {
             let mut fired = Vec::new();
             for (i, neuron) in self.neurons.iter_mut().enumerate() {
                 // Background: uniform noise around the mean drive.
-                let drive =
-                    self.config.background_drive * 2.0 * rng.gen::<f64>() + input[i];
+                let drive = self.config.background_drive * 2.0 * rng.gen::<f64>() + input[i];
                 if neuron.step(drive, self.config.dt) {
                     fired.push(i);
                     spike_trains[i].push(now);
@@ -216,9 +215,17 @@ mod tests {
     #[test]
     fn driven_network_is_active() {
         let activity = run_with(NetworkConfig::default(), 2, 2.0);
-        assert!(activity.total_spikes() > 100, "{} spikes", activity.total_spikes());
+        assert!(
+            activity.total_spikes() > 100,
+            "{} spikes",
+            activity.total_spikes()
+        );
         // Every-ish neuron participates.
-        let active = activity.spike_trains.iter().filter(|t| !t.is_empty()).count();
+        let active = activity
+            .spike_trains
+            .iter()
+            .filter(|t| !t.is_empty())
+            .count();
         assert!(active > 40, "{active}/50 active");
     }
 

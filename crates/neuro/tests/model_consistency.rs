@@ -28,16 +28,24 @@ fn all_models_show_threshold_behaviour() {
     assert!(hh_rate(12.0) > 10.0);
 
     let mut lif = Lif::new(LifParams::default());
-    let quiet = (0..50_000).filter(|_| lif.step(0.05, Seconds::new(1e-4))).count();
+    let quiet = (0..50_000)
+        .filter(|_| lif.step(0.05, Seconds::new(1e-4)))
+        .count();
     assert_eq!(quiet, 0);
     let mut lif = Lif::new(LifParams::default());
-    let firing = (0..50_000).filter(|_| lif.step(0.5, Seconds::new(1e-4))).count();
+    let firing = (0..50_000)
+        .filter(|_| lif.step(0.5, Seconds::new(1e-4)))
+        .count();
     assert!(firing > 10);
 
     let mut izh = Izhikevich::new(IzhikevichParams::regular_spiking());
-    assert!(izh.run(1.0, Seconds::new(0.5e-3), Seconds::new(1.0)).is_empty());
+    assert!(izh
+        .run(1.0, Seconds::new(0.5e-3), Seconds::new(1.0))
+        .is_empty());
     let mut izh = Izhikevich::new(IzhikevichParams::regular_spiking());
-    assert!(!izh.run(10.0, Seconds::new(0.5e-3), Seconds::new(1.0)).is_empty());
+    assert!(!izh
+        .run(10.0, Seconds::new(0.5e-3), Seconds::new(1.0))
+        .is_empty());
 }
 
 #[test]
@@ -68,9 +76,15 @@ fn junction_amplitude_scales_with_every_knob_the_right_way() {
     let nominal = amp(60.0, 10.0, 0.3);
     assert!(amp(30.0, 10.0, 0.3) > nominal, "tighter cleft → bigger");
     assert!(amp(60.0, 20.0, 0.3) > nominal, "bigger contact → bigger");
-    assert!(amp(60.0, 10.0, 0.0) > nominal, "more channel asymmetry → bigger");
+    assert!(
+        amp(60.0, 10.0, 0.0) > nominal,
+        "more channel asymmetry → bigger"
+    );
     // µ = 1: uniform cell, no signal (the classic null result).
-    assert!(amp(60.0, 10.0, 1.0) < nominal / 50.0, "uniform cell ≈ silent");
+    assert!(
+        amp(60.0, 10.0, 1.0) < nominal / 50.0,
+        "uniform cell ≈ silent"
+    );
 }
 
 #[test]
@@ -84,5 +98,9 @@ fn hh_spike_shape_drives_a_millisecond_junction_transient() {
         .map(|k| t.sample_at(Seconds::new(k as f64 * 1e-5)).value().powi(2))
         .sum();
     let total: f64 = t.samples().iter().map(|v| v.value().powi(2)).sum();
-    assert!(within / total > 0.5, "energy concentration = {}", within / total);
+    assert!(
+        within / total > 0.5,
+        "energy concentration = {}",
+        within / total
+    );
 }

@@ -164,9 +164,7 @@ mod tests {
         let first = &report.stages[0];
         let last = &report.stages[3];
         assert!(first.input_count > 100 * last.input_count.max(1));
-        assert!(
-            last.stage.cost_per_datapoint > 1e5 * first.stage.cost_per_datapoint
-        );
+        assert!(last.stage.cost_per_datapoint > 1e5 * first.stage.cost_per_datapoint);
     }
 
     #[test]

@@ -159,8 +159,12 @@ mod tests {
     fn weak_actives_pass_less_often() {
         let s = Stage::molecular_chip(128, 2.0, 10);
         let mut rng = SmallRng::seed_from_u64(2);
-        let strong = (0..10_000).filter(|_| s.test(&active(1.0), &mut rng)).count();
-        let weak = (0..10_000).filter(|_| s.test(&active(0.1), &mut rng)).count();
+        let strong = (0..10_000)
+            .filter(|_| s.test(&active(1.0), &mut rng))
+            .count();
+        let weak = (0..10_000)
+            .filter(|_| s.test(&active(0.1), &mut rng))
+            .count();
         assert!(weak < strong);
     }
 
@@ -168,7 +172,9 @@ mod tests {
     fn inactives_rarely_pass() {
         let s = Stage::cell_chip(100);
         let mut rng = SmallRng::seed_from_u64(3);
-        let passes = (0..100_000).filter(|_| s.test(&inactive(), &mut rng)).count();
+        let passes = (0..100_000)
+            .filter(|_| s.test(&inactive(), &mut rng))
+            .count();
         let rate = passes as f64 / 100_000.0;
         assert!((rate - 0.005).abs() < 0.002, "rate = {rate}");
     }

@@ -6,19 +6,15 @@ use bsa_screening::stage::{Stage, StageKind};
 use proptest::prelude::*;
 
 fn arb_stage(kind: StageKind) -> impl Strategy<Value = Stage> {
-    (
-        1.0f64..1e5,
-        0.01f64..1e6,
-        0.5f64..1.0,
-        0.0f64..0.1,
-    )
-        .prop_map(move |(dpd, cpd, sens, fpr)| Stage {
+    (1.0f64..1e5, 0.01f64..1e6, 0.5f64..1.0, 0.0f64..0.1).prop_map(move |(dpd, cpd, sens, fpr)| {
+        Stage {
             kind,
             datapoints_per_day: dpd,
             cost_per_datapoint: cpd,
             sensitivity: sens,
             false_positive_rate: fpr,
-        })
+        }
+    })
 }
 
 proptest! {

@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let readout = chip.run_assay(&sample);
 
     // 5. Call matches from the recovered currents.
-    let currents: Vec<f64> = readout.estimated_currents.iter().map(|a| a.value()).collect();
+    let currents: Vec<f64> = readout
+        .estimated_currents
+        .iter()
+        .map(|a| a.value())
+        .collect();
     let calls = MatchCaller::default().call(&currents);
     println!(
         "Site (0, 0) current: {} — array background: {}.",

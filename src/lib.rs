@@ -12,6 +12,8 @@
 //! * [`chips`] — the paper's two chips: the 16×8 DNA microarray and the
 //!   128×128 neural-recording array (`bsa-core`).
 //! * [`dsp`] — readout signal processing (`bsa-dsp`).
+//! * [`faults`] — deterministic defect models and fault-injection plans
+//!   (`bsa-faults`).
 //! * [`screening`] — the Fig. 1 drug-screening pipeline model
 //!   (`bsa-screening`).
 
@@ -21,6 +23,7 @@ pub use bsa_circuit as circuit;
 pub use bsa_core as chips;
 pub use bsa_dsp as dsp;
 pub use bsa_electrochem as electrochem;
+pub use bsa_faults as faults;
 pub use bsa_neuro as neuro;
 pub use bsa_screening as screening;
 pub use bsa_units as units;

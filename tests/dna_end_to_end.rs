@@ -1,9 +1,7 @@
 //! End-to-end integration: electrochemistry → DNA chip → DSP calling.
 
 use cmos_biosensor_arrays::chips::array::PixelAddress;
-use cmos_biosensor_arrays::chips::dna_chip::{
-    decode_frames, DnaChip, DnaChipConfig, SampleMix,
-};
+use cmos_biosensor_arrays::chips::dna_chip::{decode_frames, DnaChip, DnaChipConfig, SampleMix};
 use cmos_biosensor_arrays::dsp::calling::{Call, CallAccuracy, MatchCaller};
 use cmos_biosensor_arrays::electrochem::sequence::DnaSequence;
 use cmos_biosensor_arrays::units::Molar;
@@ -20,20 +18,28 @@ fn stringent_config() -> DnaChipConfig {
 fn single_target_lights_up_only_its_site() {
     let mut chip = DnaChip::new(stringent_config()).unwrap();
     let mut rng = SmallRng::seed_from_u64(1);
-    let probes: Vec<DnaSequence> = (0..128).map(|_| DnaSequence::random(22, &mut rng)).collect();
+    let probes: Vec<DnaSequence> = (0..128)
+        .map(|_| DnaSequence::random(22, &mut rng))
+        .collect();
     chip.spot_all(&probes);
     chip.auto_calibrate();
 
     let hot = 37usize;
-    let sample = SampleMix::new().with_target(
-        probes[hot].reverse_complement(),
-        Molar::from_nano(100.0),
-    );
+    let sample =
+        SampleMix::new().with_target(probes[hot].reverse_complement(), Molar::from_nano(100.0));
     let readout = chip.run_assay(&sample);
 
-    let currents: Vec<f64> = readout.estimated_currents.iter().map(|a| a.value()).collect();
+    let currents: Vec<f64> = readout
+        .estimated_currents
+        .iter()
+        .map(|a| a.value())
+        .collect();
     let calls = MatchCaller::default().call(&currents);
-    assert_eq!(calls.match_indices(), vec![hot], "exactly one site lights up");
+    assert_eq!(
+        calls.match_indices(),
+        vec![hot],
+        "exactly one site lights up"
+    );
     assert_eq!(calls.calls[hot], Call::Match);
 }
 
@@ -41,7 +47,9 @@ fn single_target_lights_up_only_its_site() {
 fn multiplexed_sample_recovers_all_targets() {
     let mut chip = DnaChip::new(stringent_config()).unwrap();
     let mut rng = SmallRng::seed_from_u64(2);
-    let probes: Vec<DnaSequence> = (0..128).map(|_| DnaSequence::random(22, &mut rng)).collect();
+    let probes: Vec<DnaSequence> = (0..128)
+        .map(|_| DnaSequence::random(22, &mut rng))
+        .collect();
     chip.spot_all(&probes);
     chip.auto_calibrate();
 
@@ -51,7 +59,11 @@ fn multiplexed_sample_recovers_all_targets() {
         sample = sample.with_target(probes[t].reverse_complement(), Molar::from_nano(50.0));
     }
     let readout = chip.run_assay(&sample);
-    let currents: Vec<f64> = readout.estimated_currents.iter().map(|a| a.value()).collect();
+    let currents: Vec<f64> = readout
+        .estimated_currents
+        .iter()
+        .map(|a| a.value())
+        .collect();
     let calls = MatchCaller::default().call(&currents);
     let truth: Vec<bool> = (0..128).map(|i| targets.contains(&i)).collect();
     let acc = CallAccuracy::of(&calls.calls, &truth);
@@ -70,8 +82,8 @@ fn dose_response_is_monotone() {
             chip.spot(addr, probe.clone()).unwrap();
         }
         chip.auto_calibrate();
-        let sample = SampleMix::new()
-            .with_target(probe.reverse_complement(), Molar::from_nano(c_nm));
+        let sample =
+            SampleMix::new().with_target(probe.reverse_complement(), Molar::from_nano(c_nm));
         let readout = chip.run_assay(&sample);
         let mean: f64 = readout
             .estimated_currents
@@ -91,10 +103,12 @@ fn dose_response_is_monotone() {
 fn serial_interface_survives_full_assay_round_trip() {
     let mut chip = DnaChip::new(DnaChipConfig::default()).unwrap();
     let mut rng = SmallRng::seed_from_u64(4);
-    let probes: Vec<DnaSequence> = (0..128).map(|_| DnaSequence::random(20, &mut rng)).collect();
+    let probes: Vec<DnaSequence> = (0..128)
+        .map(|_| DnaSequence::random(20, &mut rng))
+        .collect();
     chip.spot_all(&probes);
-    let sample = SampleMix::new()
-        .with_target(probes[0].reverse_complement(), Molar::from_nano(100.0));
+    let sample =
+        SampleMix::new().with_target(probes[0].reverse_complement(), Molar::from_nano(100.0));
     let readout = chip.run_assay(&sample);
     let bits = chip.serial_readout(&readout);
     let decoded = decode_frames(&bits).expect("valid stream");
@@ -128,8 +142,12 @@ fn calibration_is_required_for_cross_die_comparability() {
             if calibrate {
                 chip.auto_calibrate();
             }
-            let counts = chip.measure_currents(&currents);
-            let est = chip.estimate_currents(&counts);
+            let counts = chip
+                .measure_currents(&currents)
+                .expect("one current per pixel");
+            let est = chip
+                .estimate_currents(&counts)
+                .expect("one count per pixel");
             let mean = est.iter().map(|a| a.value()).sum::<f64>() / est.len() as f64;
             estimates.push(mean);
         }

@@ -1,0 +1,223 @@
+//! Property-based tests over the fault-injection subsystem: injection
+//! never panics, degraded readouts stay well-formed, and the error types
+//! behave like proper `std::error::Error`s.
+
+use cmos_biosensor_arrays::chips::array::ArrayGeometry;
+use cmos_biosensor_arrays::chips::dna_chip::{DnaChip, DnaChipConfig, SerialError};
+use cmos_biosensor_arrays::chips::neuro_chip::{NeuroChip, NeuroChipConfig};
+use cmos_biosensor_arrays::chips::{ChipError, DegradationMode};
+use cmos_biosensor_arrays::circuit::CircuitError;
+use cmos_biosensor_arrays::faults::{FaultClass, FaultKind, InjectionPlan};
+use cmos_biosensor_arrays::units::{Ampere, Meter, Seconds, Volt};
+use proptest::prelude::*;
+use std::error::Error;
+
+fn arb_fault_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::DeadPixel),
+        (0u64..1 << 24).prop_map(|count| FaultKind::StuckCount { count }),
+        (0.0f64..1000.0).prop_map(|pa| FaultKind::LeakyElectrode {
+            leakage: Ampere::from_pico(pa),
+        }),
+        (-1000.0f64..1000.0).prop_map(|mv| FaultKind::ComparatorDrift {
+            offset: Volt::from_milli(mv),
+        }),
+        any::<bool>().prop_map(|high| FaultKind::ComparatorStuck { high }),
+        (1.0f64..3.0).prop_map(|limit| FaultKind::DacSaturation { limit }),
+        (0.0f64..5000.0).prop_map(|mv| FaultKind::GainClipping {
+            limit: Volt::from_milli(mv),
+        }),
+        (0usize..40).prop_map(|channel| FaultKind::ChannelLoss { channel }),
+        (0.0f64..1.0).prop_map(|rate| FaultKind::SerialBitErrors { rate }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Arbitrary fault kinds at arbitrary — including out-of-range —
+    /// addresses compile, inject, calibrate and measure without a panic.
+    #[test]
+    fn injection_at_arbitrary_addresses_never_panics(
+        seed in 0u64..1000,
+        faults in prop::collection::vec(
+            ((0usize..64), (0usize..64), arb_fault_kind()),
+            0..12,
+        ),
+    ) {
+        let mut plan = InjectionPlan::new(seed);
+        for (row, col, kind) in faults {
+            plan = plan.at(row, col, kind);
+        }
+        let mut chip = DnaChip::new(DnaChipConfig::default()).unwrap();
+        let compiled = plan.compile(
+            chip.geometry().rows(),
+            chip.geometry().cols(),
+        );
+        chip.inject_faults(&compiled).unwrap();
+        chip.auto_calibrate();
+        let currents = vec![Ampere::from_nano(1.0); chip.geometry().len()];
+        let counts = chip.measure_currents(&currents).unwrap();
+        let estimates = chip.estimate_currents(&counts).unwrap();
+        prop_assert!(estimates.iter().all(|a| a.value().is_finite()));
+        let report = chip.yield_report();
+        prop_assert_eq!(
+            report.healthy + report.out_of_family + report.dead,
+            report.total_pixels
+        );
+    }
+
+    /// A die with every pixel faulty still produces a well-formed yield
+    /// report — and declares itself unusable rather than lying.
+    #[test]
+    fn all_faulty_array_reports_well_formed_yield(
+        seed in 0u64..1000,
+        extra in arb_fault_kind(),
+    ) {
+        let mut chip = DnaChip::new(DnaChipConfig::default()).unwrap();
+        let compiled = InjectionPlan::new(seed)
+            .array_wide(1.0, FaultKind::DeadPixel)
+            .array_wide(0.5, extra)
+            .compile(chip.geometry().rows(), chip.geometry().cols());
+        chip.inject_faults(&compiled).unwrap();
+        chip.auto_calibrate();
+        let report = chip.yield_report();
+        prop_assert_eq!(report.dead, report.total_pixels);
+        prop_assert_eq!(report.degradation, DegradationMode::Unusable);
+        prop_assert!(report.usable_fraction() == 0.0);
+        prop_assert!(!report.is_clean());
+        prop_assert!(report.injected.contains_key(&FaultClass::DeadPixel));
+        // The masked readout itself still yields finite numbers.
+        let currents = vec![Ampere::from_nano(1.0); chip.geometry().len()];
+        let counts = chip.measure_currents(&currents).unwrap();
+        prop_assert_eq!(counts.len(), chip.geometry().len());
+        // Display renders without panicking.
+        prop_assert!(!format!("{report}").is_empty());
+    }
+
+    /// Neuro die: arbitrary channel losses always land masked, never
+    /// panic, and the report accounting stays consistent.
+    #[test]
+    fn neuro_channel_loss_keeps_reports_consistent(
+        channel in 0usize..8,
+        seed in 0u64..100,
+    ) {
+        let mut chip = NeuroChip::new(NeuroChipConfig {
+            geometry: ArrayGeometry::new(16, 16, Meter::from_micro(7.8)).unwrap(),
+            channels: 4,
+            ..NeuroChipConfig::default()
+        })
+        .unwrap();
+        let compiled = InjectionPlan::new(seed)
+            .lose_channel(channel)
+            .compile(16, 16);
+        chip.inject_faults(&compiled).unwrap();
+        chip.calibrate(Seconds::ZERO);
+        let report = chip.yield_report();
+        prop_assert_eq!(
+            report.healthy + report.out_of_family + report.dead,
+            report.total_pixels
+        );
+        if channel < 4 {
+            prop_assert!(report.dead >= 16 * 4, "lost channel masks its columns");
+            prop_assert_eq!(report.lost_channels.clone(), vec![channel]);
+        } else {
+            // Out-of-range channels are recorded but hit no pixel.
+            prop_assert_eq!(report.dead, 0);
+        }
+    }
+}
+
+/// Every error variant renders a non-empty `Display` and honors the
+/// `source()` chain contract.
+#[test]
+fn chip_error_display_and_source_round_trip() {
+    let serial = SerialError::BadChecksum { word_index: 3 };
+    let variants: Vec<(ChipError, bool)> = vec![
+        (
+            ChipError::InvalidConfig {
+                reason: "negative frame time".into(),
+            },
+            false,
+        ),
+        (
+            ChipError::AddressOutOfRange {
+                row: 9,
+                col: 20,
+                rows: 8,
+                cols: 16,
+            },
+            false,
+        ),
+        (
+            ChipError::LengthMismatch {
+                expected: 128,
+                got: 5,
+            },
+            false,
+        ),
+        (
+            ChipError::SerialDecode {
+                reason: "bad sync".into(),
+            },
+            false,
+        ),
+        (
+            ChipError::SerialUnrecoverable {
+                failed_words: 2,
+                rereads: 8,
+                last: serial.clone(),
+            },
+            true,
+        ),
+        (
+            ChipError::FaultGeometryMismatch {
+                map: (4, 4),
+                chip: (8, 16),
+            },
+            false,
+        ),
+        (
+            ChipError::Circuit(CircuitError::NonPositiveParameter {
+                name: "channel width",
+                value: -1.0,
+            }),
+            true,
+        ),
+    ];
+    for (error, has_source) in &variants {
+        let shown = error.to_string();
+        assert!(!shown.is_empty(), "{error:?} renders empty");
+        assert_eq!(
+            error.source().is_some(),
+            *has_source,
+            "wrong source() for {error:?}"
+        );
+        if let Some(src) = error.source() {
+            // The chained message must surface in the outer Display too,
+            // so operators see the root cause without walking the chain.
+            assert!(
+                shown.contains(&src.to_string()),
+                "{shown:?} hides its source {src}"
+            );
+        }
+    }
+
+    // SerialError itself is a proper Error.
+    for e in [
+        SerialError::BadSync { got: 0x5A },
+        SerialError::BadChecksum { word_index: 7 },
+        SerialError::Truncated { leftover_bits: 13 },
+    ] {
+        assert!(!e.to_string().is_empty());
+        assert!(e.source().is_none());
+    }
+
+    // Fault classes keep their stable reporting names.
+    for class in FaultClass::ALL {
+        assert_eq!(class.to_string(), class.name());
+    }
+}

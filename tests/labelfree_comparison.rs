@@ -82,7 +82,10 @@ fn impedance_spectrum_shift_tracks_assay_coverage() {
     let f = Hertz::new(1000.0);
     let z_bare = imp.impedance_at(f, 0.0).magnitude;
     let z_hyb = imp.impedance_at(f, theta).magnitude;
-    assert!(z_hyb > z_bare * 1.05, "|Z| must rise ≥5 %: {z_bare} → {z_hyb}");
+    assert!(
+        z_hyb > z_bare * 1.05,
+        "|Z| must rise ≥5 %: {z_bare} → {z_hyb}"
+    );
 }
 
 #[test]

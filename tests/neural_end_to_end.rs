@@ -21,9 +21,11 @@ fn small_chip() -> NeuroChip {
 }
 
 fn neuron_at(chip: &NeuroChip, row: usize, col: usize, spikes: Vec<Seconds>) -> CulturedNeuron {
-    let (x, y) = chip.config().geometry.position_of(PixelAddress::new(row, col));
-    let template =
-        ApTemplate::from_hh(&CleftJunction::nominal(), Seconds::new(10e-6)).scaled(3.0);
+    let (x, y) = chip
+        .config()
+        .geometry
+        .position_of(PixelAddress::new(row, col));
+    let template = ApTemplate::from_hh(&CleftJunction::nominal(), Seconds::new(10e-6)).scaled(3.0);
     CulturedNeuron {
         x,
         y,
@@ -64,7 +66,10 @@ fn spike_train_recovered_at_the_soma_pixel() {
     let detections = SpikeDetector::default().detect(&series);
     // Detections may align to the AP's broad repolarization phase, up to
     // ~2 ms (4 frames) after the upstroke.
-    let truth: Vec<usize> = spikes.iter().map(|s| (s.value() * 2000.0) as usize).collect();
+    let truth: Vec<usize> = spikes
+        .iter()
+        .map(|s| (s.value() * 2000.0) as usize)
+        .collect();
     let score = score_detections(&detections, &truth, 5);
     assert!(
         score.recall() >= 0.75,

@@ -10,10 +10,15 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 /// Eight random 100-base "pathogen" targets and a designed panel.
-fn setup() -> (Vec<DnaSequence>, Vec<cmos_biosensor_arrays::electrochem::panel::DesignedProbe>) {
+fn setup() -> (
+    Vec<DnaSequence>,
+    Vec<cmos_biosensor_arrays::electrochem::panel::DesignedProbe>,
+) {
     let mut rng = SmallRng::seed_from_u64(2025);
     let targets: Vec<DnaSequence> = (0..8).map(|_| DnaSequence::random(100, &mut rng)).collect();
-    let panel = PanelDesign::default().design(&targets).expect("panel designable");
+    let panel = PanelDesign::default()
+        .design(&targets)
+        .expect("panel designable");
     (targets, panel)
 }
 
@@ -43,7 +48,11 @@ fn designed_panel_identifies_present_targets_on_chip() {
     let readout = chip.run_assay(&sample);
 
     // Call per row (replicate median).
-    let currents: Vec<f64> = readout.estimated_currents.iter().map(|a| a.value()).collect();
+    let currents: Vec<f64> = readout
+        .estimated_currents
+        .iter()
+        .map(|a| a.value())
+        .collect();
     let calls = MatchCaller::default().call(&currents);
     for row in 0..8 {
         let row_matches = (0..16)

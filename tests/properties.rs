@@ -1,9 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
 
+use cmos_biosensor_arrays::chips::array::PixelAddress;
 use cmos_biosensor_arrays::chips::dna_chip::{
     decode_frames, encode_frames, DnaPixel, DnaPixelConfig, PixelReading,
 };
-use cmos_biosensor_arrays::chips::array::PixelAddress;
 use cmos_biosensor_arrays::circuit::dac::Dac;
 use cmos_biosensor_arrays::electrochem::hybridization::HybridizationModel;
 use cmos_biosensor_arrays::electrochem::sequence::{Base, DnaSequence};
@@ -12,12 +12,7 @@ use cmos_biosensor_arrays::units::{format_eng, parse_eng, Ampere, Molar, Seconds
 use proptest::prelude::*;
 
 fn arb_base() -> impl Strategy<Value = Base> {
-    prop_oneof![
-        Just(Base::A),
-        Just(Base::C),
-        Just(Base::G),
-        Just(Base::T)
-    ]
+    prop_oneof![Just(Base::A), Just(Base::C), Just(Base::G), Just(Base::T)]
 }
 
 fn arb_sequence(max_len: usize) -> impl Strategy<Value = DnaSequence> {

@@ -73,7 +73,10 @@ fn two_units_on_one_pixel_are_sorted_by_amplitude() {
     let snippets = extract_snippets(&series, &detections, 2, 4);
     let result = sort_spikes(&snippets, 2);
     let sizes = result.cluster_sizes(2);
-    assert!(sizes[0] > 0 && sizes[1] > 0, "both clusters populated: {sizes:?}");
+    assert!(
+        sizes[0] > 0 && sizes[1] > 0,
+        "both clusters populated: {sizes:?}"
+    );
 
     // The cluster with the larger mean peak must contain unit A's frames.
     let big_cluster = if result.centroids[0][0] > result.centroids[1][0] {

@@ -1,0 +1,135 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Implements the slice of proptest this workspace's property tests use:
+//! the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
+//! range/tuple/`Just`/`prop_oneof!`/`prop::collection::vec` strategies and
+//! `.prop_map`. Cases are generated from a deterministic per-test RNG; on
+//! failure the offending inputs are reported. Unlike upstream there is no
+//! shrinking — the failing case is printed as drawn.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::` namespace mirroring upstream module paths.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::collection_vec as vec;
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Canonical strategy for a type's full value domain.
+    pub fn any<T: crate::strategy::Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Asserts a condition inside a property test, failing the current case
+/// (with its inputs reported) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Rejects the current case (it is redrawn, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Weighted union of strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strategy:expr),+ $(,)?
+    ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategy = ($($strategy,)+);
+            $crate::test_runner::run_cases(
+                stringify!($name),
+                &config,
+                &strategy,
+                |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    (($config:expr);) => {};
+}

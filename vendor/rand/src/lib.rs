@@ -1,0 +1,305 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! the workspace vendors the small slice of `rand` it actually uses:
+//! [`Rng`]/[`RngCore`]/[`SeedableRng`], the [`rngs::SmallRng`] generator
+//! (xoshiro256++ seeded via SplitMix64, as in upstream `rand` on 64-bit
+//! targets) and [`thread_rng`]. Streams are deterministic for a given seed
+//! but are not bit-compatible with upstream `rand`; nothing in this
+//! workspace depends on upstream's exact streams.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG's full output range
+/// (the `Standard` distribution of upstream `rand`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a value can be drawn uniformly from (`gen_range` argument).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift bounded draw; bias is < 2^-64, irrelevant
+                // for simulation use.
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = <$t as Standard>::sample_standard(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let u = <$t as Standard>::sample_standard(rng);
+                start + u * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// High-level sampling interface, blanket-implemented for every bit source.
+pub trait Rng: RngCore {
+    /// Draws a value of a standard-sampleable type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Bundled pseudo-random generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic PRNG: xoshiro256++ with SplitMix64
+    /// seed expansion (the algorithm upstream `rand 0.8` uses for
+    /// `SmallRng` on 64-bit platforms).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A non-deterministically seeded generator, for example code that does not
+/// need reproducibility. (Seeded from the system clock; this vendored
+/// build has no OS entropy dependency.)
+pub fn thread_rng() -> rngs::SmallRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x5EED);
+    <rngs::SmallRng as SeedableRng>::seed_from_u64(nanos ^ 0xD15E_A5E5_0FF1_CE64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_is_unit_uniform() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            let k = rng.gen_range(0..4usize);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all buckets hit: {seen:?}");
+        for _ in 0..1000 {
+            let x = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+        for _ in 0..1000 {
+            let k = rng.gen_range(5..=7u64);
+            assert!((5..=7).contains(&k));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!(
+            (hits as f64 / 10_000.0 - 0.25).abs() < 0.02,
+            "hits = {hits}"
+        );
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn takes_rng<R: Rng>(rng: &mut R) -> f64 {
+            rng.gen()
+        }
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a = takes_rng(&mut rng);
+        let b = takes_rng(&mut &mut rng);
+        assert_ne!(a, b);
+    }
+}

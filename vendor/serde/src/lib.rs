@@ -1,0 +1,28 @@
+//! Offline vendored facade of the `serde` API surface this workspace uses.
+//!
+//! The build environment has no network access, and nothing in the
+//! workspace serializes data yet — the `#[derive(Serialize, Deserialize)]`
+//! annotations only declare intent. This facade keeps those annotations
+//! compiling by providing marker traits and no-op derive macros; swapping
+//! the real `serde` back in requires no source change, only a manifest
+//! edit, because the trait/derive paths match upstream.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that can be serialized.
+///
+/// Upstream serde's required `serialize` method is intentionally absent:
+/// without a real data-format crate available offline there is nothing to
+/// serialize into, and an empty marker keeps `#[derive(Serialize)]`
+/// working everywhere.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for seedable deserialization (upstream parity; unused).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,184 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde facade.
+//!
+//! The facade's traits are empty markers, so the derives only need to name
+//! the type being derived for — including its generic parameters — and
+//! emit an empty `impl`. The input item is parsed directly from the token
+//! stream (no `syn`/`quote` available offline).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// One parsed generic parameter: declaration (bounds kept, defaults
+/// stripped) and bare name usable in the type position.
+struct GenericParam {
+    decl: String,
+    name: String,
+}
+
+struct ParsedItem {
+    name: String,
+    generics: Vec<GenericParam>,
+}
+
+/// Extracts the item name and generic-parameter list from a
+/// struct/enum/union definition.
+fn parse_item(input: TokenStream) -> ParsedItem {
+    let mut tokens = input.into_iter().peekable();
+
+    // Find the `struct` / `enum` / `union` keyword, skipping attributes,
+    // doc comments and visibility.
+    let name = loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(id))
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => break name.to_string(),
+                    other => panic!("expected type name after item keyword, got {other:?}"),
+                }
+            }
+            Some(_) => continue,
+            None => panic!("no struct/enum/union found in derive input"),
+        }
+    };
+
+    // Optional `<...>` generics directly after the name.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut raw: Vec<TokenTree> = Vec::new();
+            for tt in tokens.by_ref() {
+                if let TokenTree::Punct(ref p) = tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                raw.push(tt);
+            }
+            generics = split_params(&raw);
+        }
+    }
+
+    ParsedItem { name, generics }
+}
+
+/// Splits a generics token list at top-level commas and derives each
+/// parameter's declaration (default stripped) and bare name.
+fn split_params(raw: &[TokenTree]) -> Vec<GenericParam> {
+    let mut params = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut depth = 0usize;
+    for tt in raw {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' | '(' | '[' => depth += 1,
+                '>' | ')' | ']' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    if !current.is_empty() {
+                        params.push(parse_param(&current));
+                        current.clear();
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        params.push(parse_param(&current));
+    }
+    params
+}
+
+/// Parses one parameter's tokens into its declaration and bare name.
+fn parse_param(tokens: &[TokenTree]) -> GenericParam {
+    // Declaration: everything before a top-level `=` (default value).
+    let mut depth = 0usize;
+    let mut decl_tokens: Vec<TokenTree> = Vec::new();
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' | '(' | '[' => depth += 1,
+                '>' | ')' | ']' => depth = depth.saturating_sub(1),
+                '=' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        decl_tokens.push(tt.clone());
+    }
+    let decl = decl_tokens
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+
+    // Name: `'lifetime`, `const N`, or the first ident.
+    let name = match &decl_tokens[..] {
+        [TokenTree::Punct(p), TokenTree::Ident(id), ..] if p.as_char() == '\'' => {
+            format!("'{id}")
+        }
+        [TokenTree::Ident(kw), TokenTree::Ident(id), ..] if kw.to_string() == "const" => {
+            id.to_string()
+        }
+        [TokenTree::Ident(id), ..] => id.to_string(),
+        other => panic!("unsupported generic parameter: {other:?}"),
+    };
+
+    GenericParam { decl, name }
+}
+
+fn empty_impl(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let item = parse_item(input);
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        impl_params.push(lt.to_string());
+    }
+    impl_params.extend(item.generics.iter().map(|p| p.decl.clone()));
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let type_args = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "<{}>",
+            item.generics
+                .iter()
+                .map(|p| p.name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    };
+    let trait_args = extra_lifetime
+        .map(|lt| format!("<{lt}>"))
+        .unwrap_or_default();
+    format!(
+        "impl{impl_generics} {trait_path}{trait_args} for {name}{type_args} {{}}",
+        name = item.name
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Derives the facade's empty `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "serde::Serialize", None)
+}
+
+/// Derives the facade's empty `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "serde::Deserialize", Some("'de"))
+}
