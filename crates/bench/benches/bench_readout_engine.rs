@@ -1,0 +1,81 @@
+//! Criterion bench for the parallel, allocation-free readout engine:
+//! serial vs parallel neuro frame scans (warm arena) and the DNA chip's
+//! buffer-reusing current-to-frequency conversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bsa_core::array::ArrayGeometry;
+use bsa_core::dna_chip::{DnaChip, DnaChipConfig};
+use bsa_core::neuro_chip::{NeuroChip, NeuroChipConfig};
+use bsa_core::ScanOptions;
+use bsa_neuro::culture::{Culture, CultureConfig};
+use bsa_units::{Ampere, Meter, Seconds};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn culture() -> Culture {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let cfg = CultureConfig {
+        neuron_count: 5,
+        mean_rate_hz: 20.0,
+        ..CultureConfig::default()
+    };
+    let mut c = Culture::random(&cfg, &mut rng);
+    c.generate_spikes(Seconds::from_milli(100.0), &mut rng);
+    c
+}
+
+fn bench_scan_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("readout_engine");
+    group.sample_size(10);
+    let cult = culture();
+    for (label, opts) in [
+        ("serial", ScanOptions::serial()),
+        ("parallel", ScanOptions::default()),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("record_8_frames_32x32", label),
+            &opts,
+            |b, &opts| {
+                let cfg = NeuroChipConfig {
+                    geometry: ArrayGeometry::new(32, 32, Meter::from_micro(7.8)).unwrap(),
+                    channels: 4,
+                    ..NeuroChipConfig::default()
+                };
+                let mut chip = NeuroChip::new(cfg).unwrap();
+                chip.calibrate(Seconds::ZERO);
+                // Warm the arena so the loop measures the steady state.
+                let warm = chip.record_with(&cult, Seconds::ZERO, 8, opts);
+                chip.recycle(warm);
+                b.iter(|| {
+                    let r = chip.record_with(&cult, Seconds::ZERO, 8, opts);
+                    let n = black_box(r.len());
+                    chip.recycle(r);
+                    n
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dna_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("readout_engine");
+    group.sample_size(10);
+    group.bench_function("dna_convert_16x8", |b| {
+        let mut chip = DnaChip::new(DnaChipConfig::default()).unwrap();
+        let currents: Vec<Ampere> = (0..chip.geometry().len())
+            .map(|k| Ampere::from_nano(1.0 + 0.05 * k as f64))
+            .collect();
+        let mut counts = Vec::new();
+        b.iter(|| {
+            chip.measure_currents_into(&currents, &mut counts).unwrap();
+            black_box(counts.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_modes, bench_dna_conversion);
+criterion_main!(benches);

@@ -1,0 +1,265 @@
+//! Benchmark-regression harness for the readout engine (experiment
+//! E-PERF): times the neuro chip's frame scan serial vs parallel and the
+//! DNA chip's 16×8 current-to-frequency conversion, then emits
+//! machine-readable JSON (`BENCH_neuro.json`, `BENCH_dna.json`) so CI can
+//! track throughput across commits.
+//!
+//! The paper's neural chip streams 2 000 frames/s from 128×128 pixels;
+//! `realtime_factor` reports how far the simulation is from that rate.
+//! The DNA chip integrates for 10 s per measurement frame, so its
+//! realtime reference is 0.1 frames/s.
+//!
+//! Usage: `bench_readout [--quick] [--frames N] [--threads N] [--out DIR]`
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bsa_bench::banner;
+use bsa_core::array::ArrayGeometry;
+use bsa_core::dna_chip::{DnaChip, DnaChipConfig};
+use bsa_core::neuro_chip::{NeuroChip, NeuroChipConfig};
+use bsa_core::ScanOptions;
+use bsa_neuro::culture::{Culture, CultureConfig};
+use bsa_units::{Ampere, Meter, Seconds};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The paper's full-array neural frame rate (§3).
+const NEURO_REALTIME_HZ: f64 = 2000.0;
+
+struct Args {
+    quick: bool,
+    frames: Option<usize>,
+    threads: Option<usize>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        frames: None,
+        threads: None,
+        out: PathBuf::from("."),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--frames" => {
+                let v = it.next().expect("--frames needs a value");
+                args.frames = Some(v.parse().expect("--frames must be a positive integer"));
+            }
+            "--threads" => {
+                let v = it.next().expect("--threads needs a value");
+                args.threads = Some(v.parse().expect("--threads must be a positive integer"));
+            }
+            "--out" => {
+                let v = it.next().expect("--out needs a directory");
+                args.out = PathBuf::from(v);
+            }
+            other => panic!("unknown argument {other:?} (try --quick/--frames/--threads/--out)"),
+        }
+    }
+    args
+}
+
+/// A finite f64 as a JSON number (non-finite values would break parsers).
+fn jnum(x: f64) -> String {
+    assert!(x.is_finite(), "benchmark produced a non-finite number");
+    format!("{x}")
+}
+
+/// Best-of-`reps` wall time of one warm-arena record call, in seconds.
+fn time_neuro(
+    chip: &mut NeuroChip,
+    culture: &Culture,
+    frames: usize,
+    opts: ScanOptions,
+    reps: usize,
+) -> f64 {
+    // Warm-up fills the arena so timed runs reuse every frame buffer.
+    let warm = chip.record_with(culture, Seconds::ZERO, frames, opts);
+    chip.recycle(warm);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let recording = chip.record_with(culture, Seconds::ZERO, frames, opts);
+        best = best.min(start.elapsed().as_secs_f64());
+        chip.recycle(recording);
+    }
+    best
+}
+
+fn bench_neuro(args: &Args) -> String {
+    let (rows, channels, frames, reps) = if args.quick {
+        (16usize, 4usize, args.frames.unwrap_or(8), 3usize)
+    } else {
+        (128, 16, args.frames.unwrap_or(32), 3)
+    };
+    let config = NeuroChipConfig {
+        geometry: ArrayGeometry::new(rows, rows, Meter::from_micro(7.8)).unwrap(),
+        channels,
+        ..NeuroChipConfig::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(7);
+    let cfg = CultureConfig {
+        neuron_count: if args.quick { 5 } else { 20 },
+        mean_rate_hz: 20.0,
+        ..CultureConfig::default()
+    };
+    let mut culture = Culture::random(&cfg, &mut rng);
+    culture.generate_spikes(Seconds::from_milli(100.0), &mut rng);
+
+    let mut chip = NeuroChip::new(config).unwrap();
+    chip.calibrate(Seconds::ZERO);
+    let serial_s = time_neuro(&mut chip, &culture, frames, ScanOptions::serial(), reps);
+    let parallel_opts = match args.threads {
+        Some(n) => ScanOptions::with_threads(n),
+        None => ScanOptions::default(),
+    };
+    let parallel_s = time_neuro(&mut chip, &culture, frames, parallel_opts, reps);
+
+    let pixels = rows * rows;
+    let fps_serial = frames as f64 / serial_s;
+    let fps_parallel = frames as f64 / parallel_s;
+    let speedup = serial_s / parallel_s;
+    let realtime = fps_parallel / NEURO_REALTIME_HZ;
+    let stats = chip.arena_stats();
+
+    println!(
+        "neuro {rows}x{rows}/{channels}ch, {frames} frames: serial {:.1} frames/s, \
+         parallel {:.1} frames/s (speedup x{speedup:.2}, {:.3}x realtime)",
+        fps_serial, fps_parallel, realtime
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bsa-bench-readout/v1\",");
+    let _ = writeln!(json, "  \"chip\": \"neuro\",");
+    let _ = writeln!(json, "  \"rows\": {rows},");
+    let _ = writeln!(json, "  \"cols\": {rows},");
+    let _ = writeln!(json, "  \"channels\": {channels},");
+    let _ = writeln!(json, "  \"frames\": {frames},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"threads\": {},",
+        parallel_threads_label(args.threads)
+    );
+    let _ = writeln!(json, "  \"serial_s\": {},", jnum(serial_s));
+    let _ = writeln!(json, "  \"parallel_s\": {},", jnum(parallel_s));
+    let _ = writeln!(json, "  \"frames_per_s_serial\": {},", jnum(fps_serial));
+    let _ = writeln!(json, "  \"frames_per_s_parallel\": {},", jnum(fps_parallel));
+    let _ = writeln!(
+        json,
+        "  \"pixel_samples_per_s\": {},",
+        jnum(fps_parallel * pixels as f64)
+    );
+    let _ = writeln!(json, "  \"speedup\": {},", jnum(speedup));
+    let _ = writeln!(json, "  \"realtime_hz\": {},", jnum(NEURO_REALTIME_HZ));
+    let _ = writeln!(json, "  \"realtime_factor\": {},", jnum(realtime));
+    let _ = writeln!(json, "  \"arena_allocations\": {},", stats.allocations);
+    let _ = writeln!(json, "  \"arena_reuses\": {}", stats.reuses);
+    json.push('}');
+    json.push('\n');
+    json
+}
+
+fn parallel_threads_label(threads: Option<usize>) -> String {
+    match threads {
+        Some(n) => n.to_string(),
+        None => "\"auto\"".to_string(),
+    }
+}
+
+fn bench_dna(args: &Args) -> String {
+    let reps = if args.quick { 20 } else { 200 };
+    let mut chip = DnaChip::new(DnaChipConfig::default()).unwrap();
+    if let Some(n) = args.threads {
+        chip.set_scan_threads(Some(n));
+    }
+    let n = chip.geometry().len();
+    let currents: Vec<Ampere> = (0..n)
+        .map(|k| Ampere::from_nano(1.0 + 0.05 * k as f64))
+        .collect();
+    let frame_time = chip.config().frame_time.value();
+
+    // Serial reference.
+    chip.set_scan_threads(Some(1));
+    let mut counts = Vec::new();
+    chip.measure_currents_into(&currents, &mut counts).unwrap();
+    let start = Instant::now();
+    for _ in 0..reps {
+        chip.measure_currents_into(&currents, &mut counts).unwrap();
+    }
+    let serial_s = start.elapsed().as_secs_f64() / reps as f64;
+
+    // Parallel (or requested) fan-out.
+    chip.set_scan_threads(args.threads);
+    chip.measure_currents_into(&currents, &mut counts).unwrap();
+    let start = Instant::now();
+    for _ in 0..reps {
+        chip.measure_currents_into(&currents, &mut counts).unwrap();
+    }
+    let parallel_s = start.elapsed().as_secs_f64() / reps as f64;
+
+    let fps_serial = 1.0 / serial_s;
+    let fps_parallel = 1.0 / parallel_s;
+    let speedup = serial_s / parallel_s;
+    // The chip integrates 10 s per frame: realtime is 1/frame_time.
+    let realtime_hz = 1.0 / frame_time;
+    let realtime = fps_parallel / realtime_hz;
+
+    println!(
+        "dna 16x8, {reps} conversions: serial {:.0} frames/s, parallel {:.0} frames/s \
+         (speedup x{speedup:.2}, {:.0}x realtime)",
+        fps_serial, fps_parallel, realtime
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bsa-bench-readout/v1\",");
+    let _ = writeln!(json, "  \"chip\": \"dna\",");
+    let _ = writeln!(json, "  \"rows\": 16,");
+    let _ = writeln!(json, "  \"cols\": 8,");
+    let _ = writeln!(json, "  \"pixels\": {n},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"threads\": {},",
+        parallel_threads_label(args.threads)
+    );
+    let _ = writeln!(json, "  \"serial_s\": {},", jnum(serial_s));
+    let _ = writeln!(json, "  \"parallel_s\": {},", jnum(parallel_s));
+    let _ = writeln!(json, "  \"frames_per_s_serial\": {},", jnum(fps_serial));
+    let _ = writeln!(json, "  \"frames_per_s_parallel\": {},", jnum(fps_parallel));
+    let _ = writeln!(
+        json,
+        "  \"pixel_samples_per_s\": {},",
+        jnum(fps_parallel * n as f64)
+    );
+    let _ = writeln!(json, "  \"speedup\": {},", jnum(speedup));
+    let _ = writeln!(json, "  \"realtime_hz\": {},", jnum(realtime_hz));
+    let _ = writeln!(json, "  \"realtime_factor\": {}", jnum(realtime));
+    json.push('}');
+    json.push('\n');
+    json
+}
+
+fn main() {
+    let args = parse_args();
+    banner(
+        "E-PERF",
+        "readout-engine throughput (regression harness)",
+        "128x128 pixels stream at 2 kframes/s over 16 parallel channels",
+    );
+
+    let neuro = bench_neuro(&args);
+    let dna = bench_dna(&args);
+
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    let neuro_path = args.out.join("BENCH_neuro.json");
+    let dna_path = args.out.join("BENCH_dna.json");
+    std::fs::write(&neuro_path, neuro).expect("write BENCH_neuro.json");
+    std::fs::write(&dna_path, dna).expect("write BENCH_dna.json");
+    println!("wrote {} and {}", neuro_path.display(), dna_path.display());
+}

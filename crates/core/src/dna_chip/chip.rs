@@ -14,6 +14,7 @@ use super::pixel::{DnaPixel, DnaPixelConfig, PixelVariation};
 use crate::array::{ArrayGeometry, PixelAddress};
 use crate::error::ChipError;
 use crate::health::{HealthMonitor, PixelHealth, SerialLinkStats, YieldReport};
+use crate::scan::{conversion_stream_seed, resolve_threads, ScanOptions};
 use bsa_circuit::dac::Dac;
 use bsa_circuit::reference::BandgapReference;
 use bsa_electrochem::assay::{AssayConditions, SpottedSite};
@@ -227,6 +228,12 @@ pub struct DnaChip {
     faults: CompiledFaults,
     health: HealthMonitor,
     link_stats: SerialLinkStats,
+    /// Counts array-wide conversions; each one seeds a fresh family of
+    /// per-pixel noise streams, so repeated measurements draw fresh noise
+    /// yet the whole sequence is reproducible for any thread count.
+    conversion_epoch: u64,
+    /// Worker-thread request for array-wide conversions (`None` = auto).
+    scan_threads: Option<usize>,
 }
 
 impl DnaChip {
@@ -257,8 +264,17 @@ impl DnaChip {
             faults: CompiledFaults::none(config.geometry.rows(), config.geometry.cols()),
             health: HealthMonitor::all_healthy(config.geometry),
             link_stats: SerialLinkStats::default(),
+            conversion_epoch: 0,
+            scan_threads: None,
             config,
         })
+    }
+
+    /// Sets the worker-thread request for array-wide conversions:
+    /// `None` = all available threads, `Some(1)` = serial. Counts are
+    /// identical for every setting (per-pixel noise streams).
+    pub fn set_scan_threads(&mut self, threads: Option<usize>) {
+        self.scan_threads = threads;
     }
 
     /// The chip configuration.
@@ -391,6 +407,63 @@ impl DnaChip {
         report
     }
 
+    /// The shared conversion core: digitizes one current per pixel
+    /// through the in-pixel sawtooth converters, each pixel drawing its
+    /// counting noise from a deterministic per-pixel stream for this
+    /// conversion epoch, fanning the pixels out over the scan workers.
+    fn convert_all(&mut self, currents: &[Ampere], counts: &mut Vec<u64>) {
+        debug_assert_eq!(currents.len(), self.pixels.len());
+        let frame = self.config.frame_time;
+        let seed = self.config.seed;
+        let epoch = self.conversion_epoch;
+        self.conversion_epoch += 1;
+        let n = self.pixels.len();
+        counts.clear();
+        counts.resize(n, 0);
+        let threads = resolve_threads(
+            n,
+            ScanOptions {
+                threads: self.scan_threads,
+            },
+        );
+
+        let convert_run =
+            |base: usize, pixels: &mut [DnaPixel], currents: &[Ampere], counts: &mut [u64]| {
+                for (k, ((p, &i), c)) in pixels
+                    .iter_mut()
+                    .zip(currents.iter())
+                    .zip(counts.iter_mut())
+                    .enumerate()
+                {
+                    let mut rng =
+                        SmallRng::seed_from_u64(conversion_stream_seed(seed, epoch, base + k));
+                    *c = p.convert(i, frame, &mut rng).count;
+                }
+            };
+
+        if threads <= 1 {
+            convert_run(0, &mut self.pixels, currents, counts);
+            return;
+        }
+        #[cfg(feature = "parallel")]
+        {
+            let per = n.div_ceil(threads);
+            rayon::scope(|s| {
+                for (g, ((pch, cch), och)) in self
+                    .pixels
+                    .chunks_mut(per)
+                    .zip(currents.chunks(per))
+                    .zip(counts.chunks_mut(per))
+                    .enumerate()
+                {
+                    s.spawn(move |_| convert_run(g * per, pch, cch, och));
+                }
+            });
+        }
+        #[cfg(not(feature = "parallel"))]
+        convert_run(0, &mut self.pixels, currents, counts);
+    }
+
     /// Digitizes externally supplied sensor currents (one per site, scan
     /// order) — the electrical-characterization mode used to sweep the
     /// converter transfer curve.
@@ -400,18 +473,33 @@ impl DnaChip {
     /// Returns [`ChipError::LengthMismatch`] unless exactly one current per
     /// pixel is supplied.
     pub fn measure_currents(&mut self, currents: &[Ampere]) -> Result<Vec<u64>, ChipError> {
+        let mut counts = Vec::with_capacity(currents.len());
+        self.measure_currents_into(currents, &mut counts)?;
+        Ok(counts)
+    }
+
+    /// Allocation-free variant of [`measure_currents`](Self::measure_currents):
+    /// digitizes into a caller-provided buffer (cleared and refilled), so
+    /// a measurement loop reuses one buffer instead of allocating per
+    /// frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::LengthMismatch`] unless exactly one current per
+    /// pixel is supplied.
+    pub fn measure_currents_into(
+        &mut self,
+        currents: &[Ampere],
+        counts: &mut Vec<u64>,
+    ) -> Result<(), ChipError> {
         if currents.len() != self.pixels.len() {
             return Err(ChipError::LengthMismatch {
                 expected: self.pixels.len(),
                 got: currents.len(),
             });
         }
-        let frame = self.config.frame_time;
-        Ok(currents
-            .iter()
-            .zip(self.pixels.iter_mut())
-            .map(|(&i, p)| p.convert(i, frame, &mut self.rng).count)
-            .collect())
+        self.convert_all(currents, counts);
+        Ok(())
     }
 
     /// Recovers current estimates from counts using each pixel's
@@ -457,17 +545,16 @@ impl DnaChip {
 
         let frame = self.config.frame_time;
         let mut true_currents = Vec::with_capacity(n);
-        let mut counts = Vec::with_capacity(n);
-        for (i, theta) in coverages.iter().enumerate() {
+        for theta in &coverages {
             let i_sensor = self
                 .config
                 .redox
                 .sample_current(*theta, frame, &mut self.rng)
                 .max(Ampere::from_femto(1.0));
             true_currents.push(i_sensor);
-            let r = self.pixels[i].convert(i_sensor, frame, &mut self.rng);
-            counts.push(r.count);
         }
+        let mut counts = Vec::with_capacity(n);
+        self.convert_all(&true_currents, &mut counts);
         let estimated_currents = self
             .estimate_currents(&counts)
             .expect("one count per pixel by construction");
@@ -571,6 +658,10 @@ impl DnaChip {
         let n = self.config.geometry.len();
         let mut coverages = Vec::with_capacity(timepoints.len());
         let mut currents = Vec::with_capacity(timepoints.len());
+        // Reused across timepoints so the kinetic loop does not allocate
+        // per frame.
+        let mut sensor_currents: Vec<Ampere> = Vec::with_capacity(n);
+        let mut counts: Vec<u64> = Vec::with_capacity(n);
         for &t in timepoints {
             let mut theta_t = Vec::with_capacity(n);
             for probe in &self.probes {
@@ -595,16 +686,22 @@ impl DnaChip {
                 theta_t.push(theta);
             }
             let frame = self.config.frame_time;
-            let mut i_t = Vec::with_capacity(n);
-            for (pixel, theta) in self.pixels.iter_mut().zip(theta_t.iter()) {
+            sensor_currents.clear();
+            for theta in &theta_t {
                 let i_sensor = self
                     .config
                     .redox
                     .sample_current(*theta, frame, &mut self.rng)
                     .max(Ampere::from_femto(1.0));
-                let r = pixel.convert(i_sensor, frame, &mut self.rng);
-                i_t.push(pixel.estimate_current(r.count, frame));
+                sensor_currents.push(i_sensor);
             }
+            self.convert_all(&sensor_currents, &mut counts);
+            let i_t: Vec<Ampere> = self
+                .pixels
+                .iter()
+                .zip(counts.iter())
+                .map(|(pixel, &c)| pixel.estimate_current(c, frame))
+                .collect();
             coverages.push(theta_t);
             currents.push(i_t);
         }

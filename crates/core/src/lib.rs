@@ -35,6 +35,8 @@ pub mod dna_chip;
 pub mod error;
 pub mod health;
 pub mod neuro_chip;
+pub mod scan;
 
 pub use error::ChipError;
 pub use health::{DegradationMode, HealthMonitor, PixelHealth, YieldReport};
+pub use scan::{ArenaStats, FrameArena, ScanOptions};

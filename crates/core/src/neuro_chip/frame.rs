@@ -8,15 +8,22 @@
 
 use super::chain::{ChainConfig, ChannelChain};
 use super::pixel::{NeuroPixel, NeuroPixelConfig};
+use super::scan::{clipped, scan_chunk, ScanPlan};
 use crate::array::{ArrayGeometry, PixelAddress};
 use crate::error::ChipError;
 use crate::health::{HealthMonitor, PixelHealth, SerialLinkStats, YieldReport};
+use crate::scan::{channel_stream_seed, resolve_threads, ArenaStats, FrameArena, ScanOptions};
 use bsa_faults::CompiledFaults;
 use bsa_neuro::culture::Culture;
 use bsa_units::{Hertz, Seconds, Siemens, Volt};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Upper bound on the number of frames scanned per fan-out chunk: large
+/// enough to amortize worker spawn-up, small enough to keep the stripe
+/// scratch modest and recalibration points exact.
+const MAX_CHUNK_FRAMES: usize = 32;
 
 /// Scan-timing bookkeeping derived from the frame rate and geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -222,14 +229,6 @@ fn median(values: &[f64]) -> f64 {
     sorted[sorted.len() / 2]
 }
 
-/// Applies an injected gain-chain clipping limit to one output sample.
-fn clipped(limit: Option<Volt>, v: Volt) -> f64 {
-    match limit {
-        Some(l) => v.value().clamp(-l.value().abs(), l.value().abs()),
-        None => v.value(),
-    }
-}
-
 /// A neural-recording chip instance (one die).
 #[derive(Debug, Clone)]
 pub struct NeuroChip {
@@ -240,6 +239,13 @@ pub struct NeuroChip {
     calibrated: bool,
     faults: CompiledFaults,
     health: HealthMonitor,
+    /// Precomputed per-channel scan order (rebuilt on fault injection).
+    plan: ScanPlan,
+    /// Per-channel frame-noise RNG streams, re-seeded at the start of
+    /// every record call so results depend only on seed and config.
+    stream_rngs: Vec<SmallRng>,
+    /// Frame-buffer pool backing allocation-free steady-state recording.
+    arena: FrameArena,
 }
 
 impl NeuroChip {
@@ -251,19 +257,34 @@ impl NeuroChip {
     pub fn new(config: NeuroChipConfig) -> Result<Self, ChipError> {
         let timing = ScanTiming::new(config.geometry, config.frame_rate, config.channels)?;
         let mut rng = SmallRng::seed_from_u64(config.seed);
-        let pixels = (0..config.geometry.len())
+        let pixels: Vec<NeuroPixel> = (0..config.geometry.len())
             .map(|_| NeuroPixel::sample(config.pixel.clone(), &mut rng))
             .collect();
-        let channels = (0..config.channels)
+        let channels: Vec<ChannelChain> = (0..config.channels)
             .map(|_| ChannelChain::sample(config.chain.clone(), &mut rng))
+            .collect();
+        let faults = CompiledFaults::none(config.geometry.rows(), config.geometry.cols());
+        let plan = ScanPlan::build(
+            config.geometry,
+            timing.row_period,
+            timing.pixel_dwell,
+            config.channels,
+            &faults,
+            &pixels,
+        );
+        let stream_rngs = (0..config.channels)
+            .map(|ch| SmallRng::seed_from_u64(channel_stream_seed(config.seed, ch)))
             .collect();
         Ok(Self {
             timing,
             pixels,
             channels,
             calibrated: false,
-            faults: CompiledFaults::none(config.geometry.rows(), config.geometry.cols()),
+            faults,
             health: HealthMonitor::all_healthy(config.geometry),
+            plan,
+            stream_rngs,
+            arena: FrameArena::new(),
             config,
         })
     }
@@ -314,6 +335,15 @@ impl NeuroChip {
             pixel.set_faults(f);
         }
         self.faults = faults.clone();
+        // Clip limits and lost channels are baked into the scan plan.
+        self.plan = ScanPlan::build(
+            self.config.geometry,
+            self.timing.row_period,
+            self.timing.pixel_dwell,
+            self.config.channels,
+            &self.faults,
+            &self.pixels,
+        );
         Ok(())
     }
 
@@ -425,63 +455,151 @@ impl NeuroChip {
     }
 
     /// Records `frames` full frames from a culture starting at `t0`,
-    /// recalibrating at the configured interval.
+    /// recalibrating at the configured interval, with default scan
+    /// options (all available worker threads).
     ///
     /// Pixels are sampled at their true rolling-shutter times; each
     /// channel's settling state evolves down its column sequence.
     pub fn record(&mut self, culture: &Culture, t0: Seconds, frames: usize) -> Recording {
+        self.record_with(culture, t0, frames, ScanOptions::default())
+    }
+
+    /// [`record`](Self::record) with explicit scan options. Results are
+    /// identical for every thread count: frame noise comes from
+    /// deterministic per-channel RNG streams, so scheduling never touches
+    /// the sample values.
+    pub fn record_with(
+        &mut self,
+        culture: &Culture,
+        t0: Seconds,
+        frames: usize,
+        opts: ScanOptions,
+    ) -> Recording {
+        self.scan_recording(culture, t0, frames, opts, true)
+    }
+
+    /// Records without ever calibrating — the baseline the paper's
+    /// calibration scheme is designed to beat. (Forces an uncalibrated
+    /// state; any prior calibration is discarded. Injected faults stay.)
+    pub fn record_uncalibrated(
+        &mut self,
+        culture: &Culture,
+        t0: Seconds,
+        frames: usize,
+    ) -> Recording {
+        self.record_uncalibrated_with(culture, t0, frames, ScanOptions::default())
+    }
+
+    /// [`record_uncalibrated`](Self::record_uncalibrated) with explicit
+    /// scan options.
+    pub fn record_uncalibrated_with(
+        &mut self,
+        culture: &Culture,
+        t0: Seconds,
+        frames: usize,
+        opts: ScanOptions,
+    ) -> Recording {
+        for p in &mut self.pixels {
+            p.clear_calibration();
+        }
+        self.calibrated = false;
+        self.scan_recording(culture, t0, frames, opts, false)
+    }
+
+    /// The shared scan core behind [`record`](Self::record) and
+    /// [`record_uncalibrated`](Self::record_uncalibrated): chunks the
+    /// frame sequence at recalibration points, fans each chunk's channels
+    /// out over the scan workers into a channel-major stripe buffer, then
+    /// gathers the stripes into row-major frames drawn from the arena.
+    fn scan_recording(
+        &mut self,
+        culture: &Culture,
+        t0: Seconds,
+        frames: usize,
+        opts: ScanOptions,
+        recalibrate: bool,
+    ) -> Recording {
         let geometry = self.config.geometry;
         let timing = self.timing;
-        let cols_per_ch = timing.columns_per_channel;
         let nominal_gain = self.nominal_voltage_gain();
+        let threads = resolve_threads(self.config.channels, opts);
+        let frame_period = timing.frame_period.value();
+        let interval = self.config.recalibration_interval.value();
+        let rows = geometry.rows();
+        let cols = geometry.cols();
+        let cpc = timing.columns_per_channel;
+        let frame_len = rows * cpc;
+
+        // Every record call restarts the per-channel noise streams, so a
+        // recording depends only on (seed, config, culture, t0, frames).
+        for (ch, rng) in self.stream_rngs.iter_mut().enumerate() {
+            *rng = SmallRng::seed_from_u64(channel_stream_seed(self.config.seed, ch));
+        }
 
         let mut out = Vec::with_capacity(frames);
         let mut last_cal = Seconds::new(f64::NEG_INFINITY);
-        let mut frame_rng = SmallRng::seed_from_u64(self.config.seed ^ 0xF0F0);
+        let mut frame_starts: Vec<f64> = Vec::with_capacity(MAX_CHUNK_FRAMES);
 
-        for f in 0..frames {
-            let frame_start = Seconds::new(t0.value() + f as f64 * timing.frame_period.value());
-            if (frame_start - last_cal).value() >= self.config.recalibration_interval.value() {
-                self.calibrate(frame_start);
-                last_cal = frame_start;
+        let mut f0 = 0usize;
+        while f0 < frames {
+            let chunk_t0 = t0.value() + f0 as f64 * frame_period;
+            if recalibrate && (chunk_t0 - last_cal.value()) >= interval {
+                self.calibrate(Seconds::new(chunk_t0));
+                last_cal = Seconds::new(chunk_t0);
             }
 
-            let mut samples = vec![0.0; geometry.len()];
-            for row in 0..geometry.rows() {
-                for ch in &mut self.channels {
-                    ch.reset_settling();
+            // The chunk runs until the next recalibration would be due (or
+            // the cap), so calibration happens at exactly the same frames
+            // as a per-frame check would produce.
+            frame_starts.clear();
+            frame_starts.push(chunk_t0);
+            while frame_starts.len() < MAX_CHUNK_FRAMES && f0 + frame_starts.len() < frames {
+                let fs = t0.value() + (f0 + frame_starts.len()) as f64 * frame_period;
+                if recalibrate && (fs - last_cal.value()) >= interval {
+                    break;
                 }
-                for slot in 0..cols_per_ch {
-                    for ch_idx in 0..self.channels.len() {
-                        let col = ch_idx * cols_per_ch + slot;
-                        let addr = PixelAddress::new(row, col);
-                        let t = Seconds::new(
-                            frame_start.value()
-                                + row as f64 * timing.row_period.value()
-                                + slot as f64 * timing.pixel_dwell.value(),
-                        );
-                        let idx = row * geometry.cols() + col;
-                        if self.faults.channel_lost(ch_idx) {
-                            samples[idx] = 0.0;
-                            continue;
-                        }
-                        let (x, y) = geometry.position_of(addr);
-                        let v_cleft = culture.cleft_voltage_at(x, y, t);
-                        let i_diff = self.pixels[idx].read(v_cleft, t);
-                        let v = self.channels[ch_idx].process_sample(
-                            i_diff,
-                            timing.pixel_dwell,
-                            &mut frame_rng,
-                        );
-                        samples[idx] = clipped(self.pixels[idx].faults().clip_limit, v);
+                frame_starts.push(fs);
+            }
+            let chunk = frame_starts.len();
+
+            // Channel-major scratch: [channel][frame][row][slot]. Taken
+            // from the arena so its capacity persists across chunks and
+            // record calls.
+            let mut stripe = std::mem::take(&mut self.arena.stripe);
+            stripe.clear();
+            stripe.resize(self.config.channels * chunk * frame_len, 0.0);
+            scan_chunk(
+                &self.plan,
+                &self.pixels,
+                &mut self.channels,
+                &mut self.stream_rngs,
+                culture,
+                timing.pixel_dwell,
+                &frame_starts,
+                &mut stripe,
+                threads,
+            );
+
+            // Gather: each channel's slots within a row are a contiguous
+            // run of columns (col = ch·cpc + slot), so the stripe unpacks
+            // into row-major frames with one copy per (channel, row).
+            for fi in 0..chunk {
+                let mut samples = self.arena.acquire(geometry.len());
+                for ch in 0..self.config.channels {
+                    let block = &stripe[(ch * chunk + fi) * frame_len..][..frame_len];
+                    for row in 0..rows {
+                        samples[row * cols + ch * cpc..][..cpc]
+                            .copy_from_slice(&block[row * cpc..][..cpc]);
                     }
                 }
+                out.push(Frame {
+                    rows,
+                    cols,
+                    samples,
+                });
             }
-            out.push(Frame {
-                rows: geometry.rows(),
-                cols: geometry.cols(),
-                samples,
-            });
+            self.arena.stripe = stripe;
+            f0 += chunk;
         }
 
         Recording {
@@ -492,74 +610,17 @@ impl NeuroChip {
         }
     }
 
-    /// Records without ever calibrating — the baseline the paper's
-    /// calibration scheme is designed to beat. (Temporarily forces an
-    /// uncalibrated state; any prior calibration is discarded.)
-    pub fn record_uncalibrated(
-        &mut self,
-        culture: &Culture,
-        t0: Seconds,
-        frames: usize,
-    ) -> Recording {
-        // Rebuild pixels to clear stored calibration.
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        self.pixels = (0..self.config.geometry.len())
-            .map(|_| NeuroPixel::sample(self.config.pixel.clone(), &mut rng))
-            .collect();
-        self.calibrated = false;
-
-        let geometry = self.config.geometry;
-        let timing = self.timing;
-        let cols_per_ch = timing.columns_per_channel;
-        let nominal_gain = self.nominal_voltage_gain();
-        let mut frame_rng = SmallRng::seed_from_u64(self.config.seed ^ 0xF0F0);
-
-        let mut out = Vec::with_capacity(frames);
-        for f in 0..frames {
-            let frame_start = Seconds::new(t0.value() + f as f64 * timing.frame_period.value());
-            let mut samples = vec![0.0; geometry.len()];
-            for row in 0..geometry.rows() {
-                for ch in &mut self.channels {
-                    ch.reset_settling();
-                }
-                for slot in 0..cols_per_ch {
-                    for ch_idx in 0..self.channels.len() {
-                        let col = ch_idx * cols_per_ch + slot;
-                        let addr = PixelAddress::new(row, col);
-                        let t = Seconds::new(
-                            frame_start.value()
-                                + row as f64 * timing.row_period.value()
-                                + slot as f64 * timing.pixel_dwell.value(),
-                        );
-                        let idx = row * geometry.cols() + col;
-                        if self.faults.channel_lost(ch_idx) {
-                            samples[idx] = 0.0;
-                            continue;
-                        }
-                        let (x, y) = geometry.position_of(addr);
-                        let v_cleft = culture.cleft_voltage_at(x, y, t);
-                        let i_diff = self.pixels[idx].read(v_cleft, t);
-                        let v = self.channels[ch_idx].process_sample(
-                            i_diff,
-                            timing.pixel_dwell,
-                            &mut frame_rng,
-                        );
-                        samples[idx] = clipped(self.pixels[idx].faults().clip_limit, v);
-                    }
-                }
-            }
-            out.push(Frame {
-                rows: geometry.rows(),
-                cols: geometry.cols(),
-                samples,
-            });
+    /// Returns a finished recording's frame buffers to the arena so the
+    /// next record call reuses them instead of allocating.
+    pub fn recycle(&mut self, recording: Recording) {
+        for f in recording.frames {
+            self.arena.release(f.samples);
         }
-        Recording {
-            geometry,
-            timing,
-            frames: out,
-            nominal_voltage_gain: nominal_gain,
-        }
+    }
+
+    /// Frame-arena pool statistics (fresh allocations vs pooled reuses).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
     }
 
     /// Electrical test mode: measures each pixel's conversion gain

@@ -12,7 +12,10 @@
 mod chain;
 mod frame;
 mod pixel;
+mod scan;
 
 pub use chain::{ChainConfig, ChannelChain, GainStage};
 pub use frame::{Frame, NeuroChip, NeuroChipConfig, Recording, ScanTiming};
 pub use pixel::{NeuroPixel, NeuroPixelConfig};
+
+pub use crate::scan::{channel_stream_seed, ArenaStats, FrameArena, ScanOptions};

@@ -81,8 +81,26 @@ pub struct NeuroPixel {
     stored_gate: Option<Volt>,
     /// Time of the last calibration.
     cal_time: Seconds,
+    /// The array-wide nominal gate bias used while uncalibrated, solved
+    /// once at construction (bisecting the device equation per read would
+    /// dominate the uncalibrated scan).
+    global_gate: Volt,
     /// Injected defects (default: none).
     faults: PixelFaults,
+}
+
+/// Global gate bias: the voltage that makes a *nominal* device conduct
+/// the nominal calibration current.
+fn global_gate_bias(config: &NeuroPixelConfig) -> Volt {
+    Mosfet::new(config.sensor_fet.clone())
+        .gate_voltage_for_current(
+            config.cal_current,
+            config.v_source,
+            config.v_drain,
+            Volt::ZERO,
+            Volt::new(5.0),
+        )
+        .expect("nominal bias exists")
 }
 
 impl NeuroPixel {
@@ -99,6 +117,7 @@ impl NeuroPixel {
             droop_rate,
             stored_gate: None,
             cal_time: Seconds::ZERO,
+            global_gate: global_gate_bias(&config),
             faults: PixelFaults::default(),
             sensor,
             config,
@@ -114,6 +133,7 @@ impl NeuroPixel {
             droop_rate: 0.0,
             stored_gate: None,
             cal_time: Seconds::ZERO,
+            global_gate: global_gate_bias(&config),
             faults: PixelFaults::default(),
             config,
         }
@@ -172,20 +192,16 @@ impl NeuroPixel {
     pub fn effective_gate(&self, now: Seconds) -> Volt {
         match self.stored_gate {
             Some(v) => v - Volt::new(self.droop_rate * (now - self.cal_time).value().max(0.0)),
-            None => {
-                // Global gate bias: the voltage that makes a *nominal*
-                // device conduct the nominal calibration current.
-                Mosfet::new(self.config.sensor_fet.clone())
-                    .gate_voltage_for_current(
-                        self.config.cal_current,
-                        self.config.v_source,
-                        self.config.v_drain,
-                        Volt::ZERO,
-                        Volt::new(5.0),
-                    )
-                    .expect("nominal bias exists")
-            }
+            None => self.global_gate,
         }
+    }
+
+    /// Discards any stored calibration, returning the pixel to the global
+    /// gate bias. Injected faults are preserved (unlike re-instantiating
+    /// the pixel, which would silently drop them).
+    pub fn clear_calibration(&mut self) {
+        self.stored_gate = None;
+        self.cal_time = Seconds::ZERO;
     }
 
     /// Reads the pixel at time `now` with cleft potential `v_cleft`:

@@ -83,7 +83,23 @@ impl Biquad {
 
     /// Filters a whole slice, returning the output.
     pub fn process_slice(&mut self, xs: &[f64]) -> Vec<f64> {
-        xs.iter().map(|&x| self.process(x)).collect()
+        let mut out = Vec::with_capacity(xs.len());
+        self.process_into(xs, &mut out);
+        out
+    }
+
+    /// Filters a whole slice into a caller-provided buffer (cleared and
+    /// refilled) — the allocation-free form for hot loops.
+    pub fn process_into(&mut self, xs: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.process(x)));
+    }
+
+    /// Filters a buffer in place — no allocation, no second buffer.
+    pub fn process_in_place(&mut self, xs: &mut [f64]) {
+        for x in xs.iter_mut() {
+            *x = self.process(*x);
+        }
     }
 
     /// Resets the filter state.
@@ -146,7 +162,23 @@ impl BandPass {
 
     /// Filters a whole slice.
     pub fn process_slice(&mut self, xs: &[f64]) -> Vec<f64> {
-        xs.iter().map(|&x| self.process(x)).collect()
+        let mut out = Vec::with_capacity(xs.len());
+        self.process_into(xs, &mut out);
+        out
+    }
+
+    /// Filters a whole slice into a caller-provided buffer (cleared and
+    /// refilled) — the allocation-free form for hot loops.
+    pub fn process_into(&mut self, xs: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.process(x)));
+    }
+
+    /// Filters a buffer in place — no allocation, no second buffer.
+    pub fn process_in_place(&mut self, xs: &mut [f64]) {
+        for x in xs.iter_mut() {
+            *x = self.process(*x);
+        }
     }
 
     /// Resets state.
@@ -163,15 +195,26 @@ impl BandPass {
 ///
 /// Panics if `window` is even or zero.
 pub fn moving_average(xs: &[f64], window: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(xs.len());
+    moving_average_into(xs, window, &mut out);
+    out
+}
+
+/// [`moving_average`] into a caller-provided buffer (cleared and
+/// refilled) — the allocation-free form for hot loops.
+///
+/// # Panics
+///
+/// Panics if `window` is even or zero.
+pub fn moving_average_into(xs: &[f64], window: usize, out: &mut Vec<f64>) {
     assert!(window % 2 == 1 && window > 0, "window must be odd");
     let half = window / 2;
-    (0..xs.len())
-        .map(|i| {
-            let lo = i.saturating_sub(half);
-            let hi = (i + half + 1).min(xs.len());
-            xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
-        })
-        .collect()
+    out.clear();
+    out.extend((0..xs.len()).map(|i| {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(xs.len());
+        xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+    }));
 }
 
 #[cfg(test)]
@@ -282,6 +325,37 @@ mod tests {
     #[should_panic(expected = "odd")]
     fn moving_average_rejects_even_window() {
         moving_average(&[1.0, 2.0], 2);
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_forms() {
+        let fs = 2000.0;
+        let xs = sine(80.0, fs, 500);
+
+        let mut f = Biquad::lowpass(100.0, fs);
+        let reference = f.process_slice(&xs);
+        f.reset();
+        let mut buf = Vec::new();
+        f.process_into(&xs, &mut buf);
+        assert_eq!(buf, reference);
+        f.reset();
+        let mut in_place = xs.clone();
+        f.process_in_place(&mut in_place);
+        assert_eq!(in_place, reference);
+
+        let mut bp = BandPass::new(50.0, 500.0, fs);
+        let bp_ref = bp.process_slice(&xs);
+        bp.reset();
+        bp.process_into(&xs, &mut buf);
+        assert_eq!(buf, bp_ref);
+        bp.reset();
+        let mut bp_in_place = xs.clone();
+        bp.process_in_place(&mut bp_in_place);
+        assert_eq!(bp_in_place, bp_ref);
+
+        let ma_ref = moving_average(&xs, 5);
+        moving_average_into(&xs, 5, &mut buf);
+        assert_eq!(buf, ma_ref);
     }
 
     #[test]

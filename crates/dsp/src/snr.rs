@@ -1,6 +1,6 @@
 //! Signal-to-noise estimation.
 
-use crate::stats::mad_sigma;
+use crate::stats::mad_sigma_with;
 
 /// RMS of a slice (0 for an empty slice).
 pub fn rms(xs: &[f64]) -> f64 {
@@ -11,33 +11,59 @@ pub fn rms(xs: &[f64]) -> f64 {
     }
 }
 
+/// Reusable working memory for [`peak_snr_with`], so SNR sweeps over many
+/// pixels allocate once instead of per series.
+#[derive(Debug, Clone, Default)]
+pub struct SnrScratch {
+    is_event: Vec<bool>,
+    noise: Vec<f64>,
+    sort: Vec<f64>,
+}
+
+impl SnrScratch {
+    /// Creates empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Peak SNR of events in a series: the mean |peak| of the samples at
 /// `event_indices` over the robust noise σ of the remaining samples.
 ///
 /// Returns `None` if there are no events or fewer than 8 noise samples.
 pub fn peak_snr(series: &[f64], event_indices: &[usize]) -> Option<f64> {
+    peak_snr_with(series, event_indices, &mut SnrScratch::new())
+}
+
+/// [`peak_snr`] with caller-provided scratch space — the allocation-free
+/// form for per-pixel sweeps.
+pub fn peak_snr_with(
+    series: &[f64],
+    event_indices: &[usize],
+    scratch: &mut SnrScratch,
+) -> Option<f64> {
     if event_indices.is_empty() {
         return None;
     }
-    let is_event: Vec<bool> = {
-        let mut v = vec![false; series.len()];
-        for &i in event_indices {
-            // Blank ±2 samples around each event from the noise estimate.
-            let window = i.saturating_sub(2)..(i + 3).min(series.len());
-            v[window].fill(true);
-        }
-        v
-    };
-    let noise: Vec<f64> = series
-        .iter()
-        .zip(is_event.iter())
-        .filter(|(_, &e)| !e)
-        .map(|(x, _)| *x)
-        .collect();
-    if noise.len() < 8 {
+    scratch.is_event.clear();
+    scratch.is_event.resize(series.len(), false);
+    for &i in event_indices {
+        // Blank ±2 samples around each event from the noise estimate.
+        let window = i.saturating_sub(2)..(i + 3).min(series.len());
+        scratch.is_event[window].fill(true);
+    }
+    scratch.noise.clear();
+    scratch.noise.extend(
+        series
+            .iter()
+            .zip(scratch.is_event.iter())
+            .filter(|(_, &e)| !e)
+            .map(|(x, _)| *x),
+    );
+    if scratch.noise.len() < 8 {
         return None;
     }
-    let sigma = mad_sigma(&noise).max(1e-30);
+    let sigma = mad_sigma_with(&scratch.noise, &mut scratch.sort).max(1e-30);
     let peak_mean: f64 = event_indices
         .iter()
         .filter(|&&i| i < series.len())

@@ -6,7 +6,7 @@
 //! (MAD), then threshold either the signal itself or its nonlinear energy
 //! (NEO), with a refractory period to avoid double counting.
 
-use crate::stats::{mad_sigma, median};
+use crate::stats::{mad_sigma_with, median_with};
 use serde::{Deserialize, Serialize};
 
 /// Spike-detection method.
@@ -42,35 +42,66 @@ impl Default for SpikeDetector {
     }
 }
 
+/// Reusable working memory for [`SpikeDetector::detect_into`], so
+/// detection sweeps over many pixels allocate once instead of per series.
+#[derive(Debug, Clone, Default)]
+pub struct SpikeScratch {
+    centered: Vec<f64>,
+    feature: Vec<f64>,
+    sort: Vec<f64>,
+}
+
+impl SpikeScratch {
+    /// Creates empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl SpikeDetector {
     /// Detects spikes in a series, returning sample indices of detections.
     ///
     /// The series is median-subtracted first; the noise σ comes from the
     /// MAD, so the spikes themselves barely bias it.
     pub fn detect(&self, series: &[f64]) -> Vec<usize> {
-        if series.len() < 3 {
-            return Vec::new();
-        }
-        let base = median(series);
-        let centered: Vec<f64> = series.iter().map(|x| x - base).collect();
+        let mut out = Vec::new();
+        self.detect_into(series, &mut SpikeScratch::new(), &mut out);
+        out
+    }
 
-        let (feature, sigma): (Vec<f64>, f64) = match self.method {
+    /// [`detect`](Self::detect) with caller-provided scratch space and
+    /// output buffer (cleared and refilled) — the allocation-free form
+    /// for per-pixel sweeps.
+    pub fn detect_into(&self, series: &[f64], scratch: &mut SpikeScratch, out: &mut Vec<usize>) {
+        out.clear();
+        if series.len() < 3 {
+            return;
+        }
+        let base = median_with(series, &mut scratch.sort);
+        scratch.centered.clear();
+        scratch.centered.extend(series.iter().map(|x| x - base));
+        let centered = &scratch.centered;
+
+        let sigma = match self.method {
             DetectionMethod::AmplitudeThreshold => {
-                let sigma = mad_sigma(&centered).max(1e-30);
-                (centered.iter().map(|x| x.abs()).collect(), sigma)
+                let sigma = mad_sigma_with(centered, &mut scratch.sort).max(1e-30);
+                scratch.feature.clear();
+                scratch.feature.extend(centered.iter().map(|x| x.abs()));
+                sigma
             }
             DetectionMethod::Neo => {
-                let mut psi = vec![0.0; centered.len()];
+                scratch.feature.clear();
+                scratch.feature.resize(centered.len(), 0.0);
                 for i in 1..centered.len() - 1 {
-                    psi[i] = centered[i] * centered[i] - centered[i - 1] * centered[i + 1];
+                    scratch.feature[i] =
+                        centered[i] * centered[i] - centered[i - 1] * centered[i + 1];
                 }
-                let sigma = mad_sigma(&psi).max(1e-30);
-                (psi, sigma)
+                mad_sigma_with(&scratch.feature, &mut scratch.sort).max(1e-30)
             }
         };
+        let feature = &scratch.feature;
 
         let threshold = self.threshold_sigmas * sigma;
-        let mut out = Vec::new();
         let mut skip_until = 0usize;
         let mut i = 0;
         while i < feature.len() {
@@ -87,7 +118,6 @@ impl SpikeDetector {
                 i += 1;
             }
         }
-        out
     }
 }
 
@@ -257,6 +287,27 @@ mod tests {
         let d = SpikeDetector::default();
         assert!(d.detect(&[]).is_empty());
         assert!(d.detect(&[1.0, 2.0]).is_empty());
+    }
+
+    #[test]
+    fn detect_into_reuses_scratch_across_series() {
+        let det = SpikeDetector::default();
+        let mut scratch = SpikeScratch::new();
+        let mut out = Vec::new();
+        for (truth, amp) in [(vec![50usize, 200], 1.0), (vec![30, 90, 150], 0.8)] {
+            let series = synth(&truth, amp, 300, 0.04);
+            det.detect_into(&series, &mut scratch, &mut out);
+            assert_eq!(out, det.detect(&series));
+        }
+        // NEO path through the same scratch.
+        let neo = SpikeDetector {
+            method: DetectionMethod::Neo,
+            threshold_sigmas: 8.0,
+            refractory_samples: 4,
+        };
+        let series = synth(&[80, 250], 0.6, 400, 0.05);
+        neo.detect_into(&series, &mut scratch, &mut out);
+        assert_eq!(out, neo.detect(&series));
     }
 
     #[test]

@@ -86,21 +86,38 @@ impl Extend<f64> for RunningStats {
     }
 }
 
-/// Median of a slice (averages the middle pair for even lengths).
-///
-/// # Panics
-///
-/// Panics if the slice is empty.
-pub fn median(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "median of empty slice");
-    let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+/// Median of an already sorted slice (averages the middle pair for even
+/// lengths). Callers guarantee non-emptiness.
+fn median_of_sorted(v: &[f64]) -> f64 {
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
     } else {
         0.5 * (v[n / 2 - 1] + v[n / 2])
     }
+}
+
+/// Median of a slice (averages the middle pair for even lengths).
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn median(values: &[f64]) -> f64 {
+    median_with(values, &mut Vec::with_capacity(values.len()))
+}
+
+/// [`median`] using a caller-provided scratch buffer for the sort copy —
+/// the allocation-free form for hot loops.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn median_with(values: &[f64], scratch: &mut Vec<f64>) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    scratch.clear();
+    scratch.extend_from_slice(values);
+    scratch.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    median_of_sorted(scratch)
 }
 
 /// Median absolute deviation, scaled by 1.4826 to estimate σ for Gaussian
@@ -110,9 +127,21 @@ pub fn median(values: &[f64]) -> f64 {
 ///
 /// Panics if the slice is empty.
 pub fn mad_sigma(values: &[f64]) -> f64 {
-    let med = median(values);
-    let deviations: Vec<f64> = values.iter().map(|x| (x - med).abs()).collect();
-    1.4826 * median(&deviations)
+    mad_sigma_with(values, &mut Vec::with_capacity(values.len()))
+}
+
+/// [`mad_sigma`] using a caller-provided scratch buffer — the
+/// allocation-free form for hot loops.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn mad_sigma_with(values: &[f64], scratch: &mut Vec<f64>) -> f64 {
+    let med = median_with(values, scratch);
+    scratch.clear();
+    scratch.extend(values.iter().map(|x| (x - med).abs()));
+    scratch.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    1.4826 * median_of_sorted(scratch)
 }
 
 /// Linear-interpolated percentile `p` ∈ [0, 100].

@@ -1,0 +1,110 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! the workspace vendors the small slice of `rayon` it actually uses:
+//! [`scope`]/[`Scope::spawn`] fork-join parallelism, [`join`], and
+//! [`current_num_threads`]. Tasks run on plain scoped OS threads
+//! (`std::thread::scope`) rather than a work-stealing pool; callers here
+//! fan out coarse, long-lived tasks (one per channel group), where the
+//! scheduling difference is irrelevant. Semantics match upstream: spawned
+//! tasks may borrow from the enclosing scope, every task completes before
+//! `scope` returns, and a panic in any task propagates to the caller.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Number of threads the runtime would use for parallel work: the OS-
+/// reported available parallelism (1 if it cannot be queried).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A fork-join scope handed to [`scope`]'s closure; spawned tasks may
+/// borrow anything that outlives the scope.
+pub struct Scope<'s, 'env: 's> {
+    inner: &'s std::thread::Scope<'s, 'env>,
+}
+
+/// Creates a fork-join scope: tasks spawned on it may borrow from the
+/// caller's environment, and all of them are joined before `scope`
+/// returns. If any task panics, the panic is resumed on the caller.
+pub fn scope<'env, OP, R>(op: OP) -> R
+where
+    OP: for<'s> FnOnce(&Scope<'s, 'env>) -> R,
+{
+    std::thread::scope(|s| op(&Scope { inner: s }))
+}
+
+impl<'s, 'env> Scope<'s, 'env> {
+    /// Spawns a task into the scope. The task receives the scope again so
+    /// it can spawn nested work, as in upstream rayon.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: for<'a> FnOnce(&'a Scope<'s, 'env>) + Send + 's,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("joined task panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        super::scope(|s| {
+            for &x in &data {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(x, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn scope_tasks_can_borrow_mutably_and_disjointly() {
+        let mut data = vec![0u64; 8];
+        super::scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 * 10);
+            }
+        });
+        assert_eq!(data, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
