@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! Criterion bench for experiment E-F4 (paper Fig. 4): full-chip
 //! operations — die instantiation, auto-calibration, array measurement,
 //! assay and serial readout.

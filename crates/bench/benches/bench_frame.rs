@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! Criterion bench for experiment E-F6c (paper §3): full-array frame
 //! recording at 2 kframes/s, on sub-arrays and the full 128×128 chip.
 

@@ -36,11 +36,13 @@ fn bench_transient(c: &mut Criterion) {
     group.bench_function("sawtooth_100us_at_10ns", |b| {
         let pixel = DnaPixel::nominal(DnaPixelConfig::default());
         b.iter(|| {
-            let w = pixel.transient(
-                black_box(Ampere::from_nano(10.0)),
-                Seconds::from_micro(100.0),
-                Seconds::from_nano(10.0),
-            );
+            let w = pixel
+                .transient(
+                    black_box(Ampere::from_nano(10.0)),
+                    Seconds::from_micro(100.0),
+                    Seconds::from_nano(10.0),
+                )
+                .expect("nominal pixel transient");
             black_box(w.len())
         });
     });

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! Criterion bench for the parallel, allocation-free readout engine:
 //! serial vs parallel neuro frame scans (warm arena) and the DNA chip's
 //! buffer-reusing current-to-frequency conversion.

@@ -1,3 +1,5 @@
+// Experiment binaries abort on broken I/O or impossible configs by design.
+#![allow(clippy::unwrap_used)]
 //! Benchmark-regression harness for the readout engine (experiment
 //! E-PERF): times the neuro chip's frame scan serial vs parallel and the
 //! DNA chip's 16×8 current-to-frequency conversion, then emits

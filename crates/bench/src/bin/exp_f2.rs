@@ -1,3 +1,5 @@
+// Experiment binaries abort on broken I/O or impossible configs by design.
+#![allow(clippy::unwrap_used)]
 //! Experiment E-F2: DNA hybridization match/mismatch discrimination
 //! (paper Fig. 2).
 //!
@@ -82,7 +84,7 @@ fn main() {
             .filter(|i| mismatch_class[*i] == class)
             .map(values)
             .collect();
-        median(&v)
+        median(&v).unwrap_or(0.0)
     };
     let match_current = class_median(0, &|i| readout.estimated_currents[i].value());
     for (class, name) in classes {
@@ -175,8 +177,8 @@ fn main() {
         let cur: Vec<f64> = r.estimated_currents.iter().map(|a| a.value()).collect();
         t.add_row(vec![
             eng(c_nm * 1e-9, "M"),
-            sig(median(&cov), 3),
-            eng(median(&cur), "A"),
+            sig(median(&cov).unwrap_or(0.0), 3),
+            eng(median(&cur).unwrap_or(0.0), "A"),
         ]);
     }
     t.print();

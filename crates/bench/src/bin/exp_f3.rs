@@ -34,7 +34,9 @@ fn main() {
     );
     for i_na in [10.0, 30.0, 100.0] {
         let i = Ampere::from_nano(i_na);
-        let w = pixel.transient(i, Seconds::from_micro(100.0), Seconds::from_nano(10.0));
+        let w = pixel
+            .transient(i, Seconds::from_micro(100.0), Seconds::from_nano(10.0))
+            .expect("nominal pixel transient");
         let mid = pixel.config().v_start.value() + 0.5 * pixel.config().delta_v.value();
         let ramps = w.rising_crossings(mid);
         saw.add_row(vec![

@@ -1,3 +1,5 @@
+// Experiment binaries abort on broken I/O or impossible configs by design.
+#![allow(clippy::unwrap_used)]
 //! Experiment E-F4: the full 16×8 DNA microarray chip (paper Fig. 4).
 //!
 //! Exercises the periphery around the pixel array: auto-calibration

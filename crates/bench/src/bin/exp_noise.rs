@@ -68,7 +68,7 @@ fn main() {
     // (b) Neural channel noise spectrum at zero signal.
     let mut chain = ChannelChain::sample(ChainConfig::default(), &mut rng);
     chain.calibrate();
-    let fs = 2000.0; // per-pixel sample rate at 2 kfps
+    let fs = Hertz::from_kilo(2.0); // per-pixel sample rate at 2 kfps
     let dwell = Seconds::from_nano(488.0);
     let samples: Vec<f64> = (0..4096)
         .map(|_| {
@@ -77,7 +77,7 @@ fn main() {
         })
         .collect();
     let p = Periodogram::compute(&samples, fs);
-    let floor = p.noise_floor(100.0, 900.0);
+    let floor = p.noise_floor(Hertz::new(100.0), Hertz::new(900.0));
     let gain = chain.current_gain() * chain.config().conversion_resistance.value();
     let input_floor_a = floor.sqrt() / gain;
     let mut t = Table::new(
@@ -92,7 +92,7 @@ fn main() {
         "input-referred current density".into(),
         format!("{} /√Hz", eng(input_floor_a, "A")),
     ]);
-    let total_rms = p.band_power(1.0, 1000.0).sqrt();
+    let total_rms = p.band_power(Hertz::new(1.0), Hertz::new(1000.0)).sqrt();
     t.add_row(vec![
         "output RMS (1 Hz – 1 kHz)".into(),
         eng(total_rms, "V"),
@@ -107,7 +107,7 @@ fn main() {
         "input-referred voltage RMS".into(),
         format!("{:.1} µV (vs the 100 µV floor)", input_v),
     ]);
-    let slope = p.loglog_slope(20.0, 800.0);
+    let slope = p.loglog_slope(Hertz::new(20.0), Hertz::new(800.0));
     t.add_row(vec![
         "PSD log-log slope".into(),
         format!("{slope:.2} (white ≈ 0)"),

@@ -1,3 +1,6 @@
+// Tests unwrap idiomatically; the workspace-level `clippy::unwrap_used`
+// only polices non-test code (bsa-lint enforces the same split).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Experiment harness for the paper-reproduction binaries and benches.
 //!
 //! Each figure of Thewes et al. (DATE 2005) has a binary in `src/bin/`

@@ -55,8 +55,16 @@ impl Comparator {
 
     /// An ideal comparator: no offset, hysteresis or delay.
     pub fn ideal(threshold: Volt) -> Self {
-        Self::new(threshold, Volt::ZERO, Volt::ZERO, Seconds::ZERO)
-            .expect("ideal comparator parameters are valid")
+        // All-zero imperfections trivially satisfy `new`'s validation, so
+        // construct directly and keep this constructor infallible.
+        Self {
+            threshold,
+            offset: Volt::ZERO,
+            hysteresis: Volt::ZERO,
+            delay: Seconds::ZERO,
+            state: false,
+            pending: None,
+        }
     }
 
     /// The nominal switching threshold (excluding offset).

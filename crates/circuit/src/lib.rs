@@ -1,3 +1,6 @@
+// Tests unwrap idiomatically; the workspace-level `clippy::unwrap_used`
+// only polices non-test code (bsa-lint enforces the same split).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Analog/mixed-signal circuit-simulation substrate.
 //!
 //! This crate provides the device- and block-level models from which the

@@ -156,12 +156,9 @@ impl CurrentReferenceTree {
         rng: &mut R,
     ) -> Result<Self, CircuitError> {
         require_positive("master current", master.value())?;
+        let unit = CurrentMirror::new(1.0)?;
         let branches = (0..n)
-            .map(|_| {
-                CurrentMirror::new(1.0)
-                    .expect("unit ratio is valid")
-                    .with_mismatch(pelgrom, gate_area_um2, rng)
-            })
+            .map(|_| unit.clone().with_mismatch(pelgrom, gate_area_um2, rng))
             .collect();
         Ok(Self { master, branches })
     }

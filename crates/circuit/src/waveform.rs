@@ -87,10 +87,12 @@ impl Waveform {
         let x = (t.value() / self.dt.value()).max(0.0);
         let i = x.floor() as usize;
         if i + 1 >= self.samples.len() {
-            return *self.samples.last().expect("non-empty");
+            return self.samples.last().copied().unwrap_or(0.0);
         }
         let frac = x - i as f64;
-        self.samples[i] * (1.0 - frac) + self.samples[i + 1] * frac
+        let a = self.samples.get(i).copied().unwrap_or(0.0);
+        let b = self.samples.get(i + 1).copied().unwrap_or(a);
+        a * (1.0 - frac) + b * frac
     }
 
     /// Minimum sample (0.0 for an empty waveform).

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! Property-based tests for the circuit substrate.
 
 use bsa_circuit::comparator::Comparator;

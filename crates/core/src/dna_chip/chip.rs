@@ -555,9 +555,14 @@ impl DnaChip {
         }
         let mut counts = Vec::with_capacity(n);
         self.convert_all(&true_currents, &mut counts);
-        let estimated_currents = self
-            .estimate_currents(&counts)
-            .expect("one count per pixel by construction");
+        // `convert_all` produced exactly one count per pixel, so the
+        // length check in `estimate_currents` cannot fire — estimate
+        // directly instead of unwrapping a Result.
+        let estimated_currents = counts
+            .iter()
+            .zip(self.pixels.iter())
+            .map(|(&c, p)| p.estimate_current(c, frame))
+            .collect();
 
         AssayReadout {
             geometry: self.config.geometry,

@@ -16,6 +16,7 @@
 //! — linear in 1/I with a current-independent dead time that compresses
 //! the transfer curve at the high end of the 1 pA … 100 nA range.
 
+use crate::error::ChipError;
 use bsa_circuit::comparator::{Comparator, DelayStage};
 use bsa_circuit::digital::EventCounter;
 use bsa_circuit::noise::GaussianSampler;
@@ -281,9 +282,17 @@ impl DnaPixel {
     /// Simulates the integration-node voltage waveform (the Fig. 3
     /// sawtooth) for `duration` at sample interval `dt`, using the actual
     /// comparator/delay-stage blocks from `bsa-circuit`.
-    pub fn transient(&self, i: Ampere, duration: Seconds, dt: Seconds) -> Waveform {
-        let mut cap = bsa_circuit::passive::Capacitor::new(self.c_int_effective())
-            .expect("validated capacitance");
+    ///
+    /// Errors if the pixel's effective component values (after process
+    /// variation) or `dt` fall outside the circuit blocks' validity
+    /// ranges.
+    pub fn transient(
+        &self,
+        i: Ampere,
+        duration: Seconds,
+        dt: Seconds,
+    ) -> Result<Waveform, ChipError> {
+        let mut cap = bsa_circuit::passive::Capacitor::new(self.c_int_effective())?;
         cap.set_voltage(self.config.v_start);
         let threshold = self.config.v_start + self.config.delta_v;
         let mut comp = Comparator::new(
@@ -291,19 +300,17 @@ impl DnaPixel {
             self.variation.comparator_offset,
             Volt::from_milli(1.0),
             self.config.comparator_delay * (1.0 + self.variation.delay_rel_err),
-        )
-        .expect("validated comparator");
+        )?;
         let delay = DelayStage::new(
             Seconds::ZERO,
             self.config.reset_width * (1.0 + self.variation.delay_rel_err),
-        )
-        .expect("validated delay stage");
+        )?;
         // The reset pulse lasts at least one simulation step so coarse
         // sampling cannot step over it.
         let reset_steps = (delay.pulse_width().value() / dt.value()).ceil().max(1.0) as usize;
 
         let steps = (duration.value() / dt.value()).round() as usize;
-        let mut w = Waveform::new(dt).expect("validated dt");
+        let mut w = Waveform::new(dt)?;
         let mut resetting_left = 0usize;
         for k in 0..steps {
             let now = dt * k as f64;
@@ -320,7 +327,7 @@ impl DnaPixel {
             }
             w.push(cap.voltage().value());
         }
-        w
+        Ok(w)
     }
 }
 
@@ -461,7 +468,9 @@ mod tests {
         let p = pixel();
         let i = Ampere::from_nano(10.0);
         // f ≈ 10 kHz − dead-time compression ≈ 9.95 kHz; 2 ms → ~19 ramps.
-        let w = p.transient(i, Seconds::from_milli(2.0), Seconds::from_nano(20.0));
+        let w = p
+            .transient(i, Seconds::from_milli(2.0), Seconds::from_nano(20.0))
+            .expect("nominal pixel transient");
         let mid = p.config().v_start.value() + 0.5 * p.config().delta_v.value();
         let ramps = w.rising_crossings(mid);
         let expected = (p.frequency(i).value() * 2e-3).floor() as usize;
@@ -556,7 +565,9 @@ mod tests {
         let p = pixel();
         let i = Ampere::from_nano(1.0);
         let dt = Seconds::from_micro(1.0);
-        let w = p.transient(i, Seconds::from_milli(5.0), dt);
+        let w = p
+            .transient(i, Seconds::from_milli(5.0), dt)
+            .expect("nominal pixel transient");
         let v_lo = p.config().v_start.value() - 1e-6;
         // Allow up to three integration steps of overshoot past the
         // threshold (comparator delay discretized onto the sample grid).

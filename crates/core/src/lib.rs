@@ -1,3 +1,6 @@
+// Tests unwrap idiomatically; the workspace-level `clippy::unwrap_used`
+// only polices non-test code (bsa-lint enforces the same split).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! The two CMOS biosensor-array chips of Thewes et al. (DATE 2005).
 //!
 //! This crate is the paper's primary contribution, rebuilt as a

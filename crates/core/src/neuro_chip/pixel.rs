@@ -170,19 +170,24 @@ impl NeuroPixel {
     /// Performs the S1/M2 calibration at absolute time `now`: the gate is
     /// driven to the voltage where M1 conducts exactly M2's current, then
     /// S1 opens and injects this pixel's static charge-injection offset.
+    ///
+    /// A pixel whose mismatch pushes the calibration current outside the
+    /// device's conduction range cannot converge; it stays uncalibrated
+    /// (falling back to the global bias) rather than aborting the scan.
     pub fn calibrate(&mut self, now: Seconds) {
-        let vg = self
-            .sensor
-            .gate_voltage_for_current(
-                self.cal_current_actual,
-                self.config.v_source,
-                self.config.v_drain,
-                Volt::ZERO,
-                Volt::new(5.0),
-            )
-            .expect("calibration current within device range");
-        self.stored_gate = Some(vg + self.injection_offset);
-        self.cal_time = now;
+        match self.sensor.gate_voltage_for_current(
+            self.cal_current_actual,
+            self.config.v_source,
+            self.config.v_drain,
+            Volt::ZERO,
+            Volt::new(5.0),
+        ) {
+            Some(vg) => {
+                self.stored_gate = Some(vg + self.injection_offset);
+                self.cal_time = now;
+            }
+            None => self.stored_gate = None,
+        }
     }
 
     /// Effective gate voltage at time `now` (stored value minus droop),

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! Steady-state allocation contract for the readout engine: once the
 //! frame arena is warm (buffers recycled from a previous recording), the
 //! heap-allocation count of a record call must not scale with the frame

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! API-guideline conformance contracts (C-SEND-SYNC, C-DEBUG,
 //! C-DEBUG-NONEMPTY, C-COMMON-TRAITS) for the chip crate's public surface.
 

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! Determinism contracts for the parallel readout engine: recordings must
 //! be bit-identical across runs and across worker-thread counts, because
 //! every noise draw comes from a per-stream RNG seeded only by (die seed,

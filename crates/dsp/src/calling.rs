@@ -79,16 +79,25 @@ impl MatchCaller {
     /// log-current distribution, making the caller robust even when many
     /// sites are matches.
     pub fn call(&self, currents_a: &[f64]) -> CallingResult {
+        if currents_a.is_empty() {
+            return CallingResult {
+                calls: Vec::new(),
+                log_threshold: f64::INFINITY,
+                background_current: 0.0,
+            };
+        }
         let logs: Vec<f64> = currents_a
             .iter()
             .map(|i| i.max(self.current_floor).log10())
             .collect();
         // Background: the lower half of sites.
         let mut sorted = logs.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let lower = &sorted[..(sorted.len() / 2).max(1)];
-        let bg_median = median(lower);
-        let bg_sigma = mad_sigma(lower).max(0.05);
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let half = (sorted.len() / 2).max(1);
+        let lower = sorted.get(..half).unwrap_or(&sorted[..]);
+        // `lower` is non-empty here, so the statistics cannot fail.
+        let bg_median = median(lower).unwrap_or(0.0);
+        let bg_sigma = mad_sigma(lower).unwrap_or(0.0).max(0.05);
         let log_threshold = (bg_median + self.threshold_sigmas * bg_sigma)
             .max(bg_median + self.min_ratio_over_background.log10());
 
@@ -128,7 +137,9 @@ impl MatchCaller {
         if matched.is_empty() || unmatched.is_empty() {
             return None;
         }
-        Some(median(&matched) / median(&unmatched).max(1e-30))
+        let med_matched = median(&matched).ok()?;
+        let med_unmatched = median(&unmatched).ok()?;
+        Some(med_matched / med_unmatched.max(1e-30))
     }
 }
 

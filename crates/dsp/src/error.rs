@@ -1,0 +1,37 @@
+//! Typed errors for the DSP layer.
+//!
+//! `bsa-dsp` sits below `bsa-core` in the crate stack (core consumes dsp,
+//! never the reverse), so it cannot reuse `bsa_core::ChipError`; it defines
+//! its own error enum and core converts where the layers meet.
+
+use std::fmt;
+
+/// Errors from DSP entry points that previously panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DspError {
+    /// An operation that needs at least one sample got an empty slice.
+    EmptyInput {
+        /// The operation that was attempted, e.g. `"median"`.
+        what: &'static str,
+    },
+    /// A parameter was outside its documented domain.
+    InvalidArgument {
+        /// The offending parameter, e.g. `"percentile p"`.
+        what: &'static str,
+        /// The documented domain, e.g. `"[0, 100]"`.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyInput { what } => write!(f, "{what} needs at least one sample"),
+            Self::InvalidArgument { what, expected } => {
+                write!(f, "{what} must be in {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DspError {}

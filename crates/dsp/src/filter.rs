@@ -5,6 +5,7 @@
 //! band-pass separates them. The filters here are second-order biquads in
 //! transposed direct form II, designed with the bilinear transform.
 
+use bsa_units::Hertz;
 use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
 
@@ -40,7 +41,8 @@ impl Biquad {
     /// # Panics
     ///
     /// Panics unless 0 < fc < fs/2.
-    pub fn lowpass(fc: f64, fs: f64) -> Self {
+    pub fn lowpass(fc: Hertz, fs: Hertz) -> Self {
+        let (fc, fs) = (fc.value(), fs.value());
         assert!(fc > 0.0 && fc < fs / 2.0, "cutoff must be in (0, fs/2)");
         let k = (PI * fc / fs).tan();
         let q = std::f64::consts::FRAC_1_SQRT_2;
@@ -59,7 +61,8 @@ impl Biquad {
     /// # Panics
     ///
     /// Panics unless 0 < fc < fs/2.
-    pub fn highpass(fc: f64, fs: f64) -> Self {
+    pub fn highpass(fc: Hertz, fs: Hertz) -> Self {
+        let (fc, fs) = (fc.value(), fs.value());
         assert!(fc > 0.0 && fc < fs / 2.0, "cutoff must be in (0, fs/2)");
         let k = (PI * fc / fs).tan();
         let q = std::f64::consts::FRAC_1_SQRT_2;
@@ -110,8 +113,8 @@ impl Biquad {
 
     /// Steady-state magnitude response at frequency `f` for sample rate
     /// `fs`, evaluated analytically from the coefficients.
-    pub fn magnitude_at(&self, f: f64, fs: f64) -> f64 {
-        let w = 2.0 * PI * f / fs;
+    pub fn magnitude_at(&self, f: Hertz, fs: Hertz) -> f64 {
+        let w = 2.0 * PI * (f / fs);
         let (re, im) = (w.cos(), -w.sin());
         // z^-1 = e^{-jw}; evaluate numerator/denominator at z^-1.
         let num = complex_add(
@@ -147,7 +150,7 @@ impl BandPass {
     /// # Panics
     ///
     /// Panics unless 0 < f_lo < f_hi < fs/2.
-    pub fn new(f_lo: f64, f_hi: f64, fs: f64) -> Self {
+    pub fn new(f_lo: Hertz, f_hi: Hertz, fs: Hertz) -> Self {
         assert!(f_lo < f_hi, "band edges must be ordered");
         Self {
             hp: Biquad::highpass(f_lo, fs),
@@ -213,13 +216,18 @@ pub fn moving_average_into(xs: &[f64], window: usize, out: &mut Vec<f64>) {
     out.extend((0..xs.len()).map(|i| {
         let lo = i.saturating_sub(half);
         let hi = (i + half + 1).min(xs.len());
-        xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        let window_sum: f64 = xs.get(lo..hi).map(|w| w.iter().sum()).unwrap_or(0.0);
+        window_sum / (hi - lo) as f64
     }));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn hz(v: f64) -> Hertz {
+        Hertz::new(v)
+    }
 
     fn sine(f: f64, fs: f64, n: usize) -> Vec<f64> {
         (0..n)
@@ -234,7 +242,7 @@ mod tests {
     #[test]
     fn lowpass_passes_low_blocks_high() {
         let fs = 2000.0;
-        let mut f = Biquad::lowpass(100.0, fs);
+        let mut f = Biquad::lowpass(hz(100.0), hz(fs));
         let low = f.process_slice(&sine(10.0, fs, 4000));
         f.reset();
         let high = f.process_slice(&sine(900.0, fs, 4000));
@@ -249,7 +257,7 @@ mod tests {
     #[test]
     fn highpass_blocks_dc() {
         let fs = 2000.0;
-        let mut f = Biquad::highpass(10.0, fs);
+        let mut f = Biquad::highpass(hz(10.0), hz(fs));
         let out = f.process_slice(&vec![1.0; 4000]);
         assert!(
             out.last().unwrap().abs() < 1e-3,
@@ -261,8 +269,8 @@ mod tests {
     #[test]
     fn cutoff_gain_is_minus_3db() {
         let fs = 2000.0;
-        let f = Biquad::lowpass(100.0, fs);
-        let g = f.magnitude_at(100.0, fs);
+        let f = Biquad::lowpass(hz(100.0), hz(fs));
+        let g = f.magnitude_at(hz(100.0), hz(fs));
         assert!(
             (g - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01,
             "g = {g}"
@@ -272,8 +280,8 @@ mod tests {
     #[test]
     fn magnitude_matches_measured_response() {
         let fs = 2000.0;
-        let mut f = Biquad::lowpass(150.0, fs);
-        let analytic = f.magnitude_at(60.0, fs);
+        let mut f = Biquad::lowpass(hz(150.0), hz(fs));
+        let analytic = f.magnitude_at(hz(60.0), hz(fs));
         let out = f.process_slice(&sine(60.0, fs, 8000));
         let measured = rms(&out[4000..]) / rms(&sine(60.0, fs, 8000)[4000..]);
         assert!(
@@ -285,7 +293,7 @@ mod tests {
     #[test]
     fn bandpass_selects_band() {
         let fs = 2000.0;
-        let mut bp = BandPass::new(50.0, 500.0, fs);
+        let mut bp = BandPass::new(hz(50.0), hz(500.0), hz(fs));
         let inband = bp.process_slice(&sine(200.0, fs, 4000));
         bp.reset();
         let below = bp.process_slice(&sine(2.0, fs, 4000));
@@ -299,13 +307,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "ordered")]
     fn bandpass_rejects_inverted_edges() {
-        BandPass::new(500.0, 50.0, 2000.0);
+        BandPass::new(hz(500.0), hz(50.0), hz(2000.0));
     }
 
     #[test]
     #[should_panic(expected = "cutoff")]
     fn lowpass_rejects_cutoff_above_nyquist() {
-        Biquad::lowpass(1500.0, 2000.0);
+        Biquad::lowpass(hz(1500.0), hz(2000.0));
     }
 
     #[test]
@@ -332,7 +340,7 @@ mod tests {
         let fs = 2000.0;
         let xs = sine(80.0, fs, 500);
 
-        let mut f = Biquad::lowpass(100.0, fs);
+        let mut f = Biquad::lowpass(hz(100.0), hz(fs));
         let reference = f.process_slice(&xs);
         f.reset();
         let mut buf = Vec::new();
@@ -343,7 +351,7 @@ mod tests {
         f.process_in_place(&mut in_place);
         assert_eq!(in_place, reference);
 
-        let mut bp = BandPass::new(50.0, 500.0, fs);
+        let mut bp = BandPass::new(hz(50.0), hz(500.0), hz(fs));
         let bp_ref = bp.process_slice(&xs);
         bp.reset();
         bp.process_into(&xs, &mut buf);
@@ -361,7 +369,7 @@ mod tests {
     #[test]
     fn filter_state_reset_restores_determinism() {
         let fs = 2000.0;
-        let mut f = Biquad::lowpass(100.0, fs);
+        let mut f = Biquad::lowpass(hz(100.0), hz(fs));
         let a = f.process_slice(&sine(50.0, fs, 100));
         f.reset();
         let b = f.process_slice(&sine(50.0, fs, 100));

@@ -85,7 +85,8 @@ impl FrameStack {
         (0..self.rows * self.cols)
             .map(|idx| {
                 let series: Vec<f64> = self.frames.iter().map(|f| f[idx]).collect();
-                median(&series)
+                // Frames are non-empty here (guarded above).
+                median(&series).unwrap_or(0.0)
             })
             .collect()
     }

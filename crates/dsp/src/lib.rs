@@ -1,3 +1,6 @@
+// Tests unwrap idiomatically; the workspace-level `clippy::unwrap_used`
+// only polices non-test code (bsa-lint enforces the same split).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Readout signal processing for the biosensor arrays.
 //!
 //! The chips deliver raw digitized data — frame counts from the DNA
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod calling;
+pub mod error;
 pub mod filter;
 pub mod frames;
 pub mod masking;

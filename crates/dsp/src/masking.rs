@@ -160,11 +160,7 @@ impl PixelMask {
             .filter(|(_, u)| **u)
             .map(|(s, _)| *s)
             .collect();
-        let global = if usable_samples.is_empty() {
-            0.0
-        } else {
-            median(&usable_samples)
-        };
+        let global = median(&usable_samples).unwrap_or(0.0);
 
         let mut repairs = vec![Repair::Untouched; samples.len()];
         let mut repaired = samples.to_vec();

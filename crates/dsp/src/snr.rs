@@ -49,8 +49,13 @@ pub fn peak_snr_with(
     scratch.is_event.resize(series.len(), false);
     for &i in event_indices {
         // Blank ±2 samples around each event from the noise estimate.
-        let window = i.saturating_sub(2)..(i + 3).min(series.len());
-        scratch.is_event[window].fill(true);
+        // Out-of-range indices blank nothing (empty window) instead of
+        // panicking, matching the get()-based peak lookup below.
+        let lo = i.saturating_sub(2).min(series.len());
+        let hi = i.saturating_add(3).min(series.len());
+        if let Some(window) = scratch.is_event.get_mut(lo..hi) {
+            window.fill(true);
+        }
     }
     scratch.noise.clear();
     scratch.noise.extend(
@@ -63,11 +68,13 @@ pub fn peak_snr_with(
     if scratch.noise.len() < 8 {
         return None;
     }
-    let sigma = mad_sigma_with(&scratch.noise, &mut scratch.sort).max(1e-30);
+    let sigma = mad_sigma_with(&scratch.noise, &mut scratch.sort)
+        .ok()?
+        .max(1e-30);
     let peak_mean: f64 = event_indices
         .iter()
-        .filter(|&&i| i < series.len())
-        .map(|&i| series[i].abs())
+        .filter_map(|&i| series.get(i))
+        .map(|x| x.abs())
         .sum::<f64>()
         / event_indices.len() as f64;
     Some(peak_mean / sigma)

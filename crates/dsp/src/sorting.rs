@@ -165,7 +165,7 @@ pub fn sort_spikes(snippets: &[Snippet], k: usize) -> SortResult {
     // Deterministic init: order snippets by peak and seed the centroids at
     // the extremes and evenly spaced quantiles between them.
     let mut order: Vec<usize> = (0..normed.len()).collect();
-    order.sort_by(|&a, &b| normed[a][0].partial_cmp(&normed[b][0]).expect("finite"));
+    order.sort_by(|&a, &b| normed[a][0].total_cmp(&normed[b][0]));
     let mut centroids: Vec<[f64; 3]> = if k == 1 {
         vec![normed[order[normed.len() / 2]]]
     } else {
@@ -182,12 +182,8 @@ pub fn sort_spikes(snippets: &[Snippet], k: usize) -> SortResult {
         let mut changed = false;
         for (i, f) in normed.iter().enumerate() {
             let best = (0..k)
-                .min_by(|&a, &b| {
-                    dist2(f, &centroids[a])
-                        .partial_cmp(&dist2(f, &centroids[b]))
-                        .expect("finite")
-                })
-                .expect("k > 0");
+                .min_by(|&a, &b| dist2(f, &centroids[a]).total_cmp(&dist2(f, &centroids[b])))
+                .unwrap_or(0);
             if labels[i] != best {
                 labels[i] = best;
                 changed = true;

@@ -5,6 +5,7 @@
 //! record lengths involved (≤ a few thousand frames) don't justify an FFT
 //! dependency.
 
+use bsa_units::Hertz;
 use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
 
@@ -24,7 +25,8 @@ impl Periodogram {
     /// # Panics
     ///
     /// Panics if `x` has fewer than 4 samples or `fs` is not positive.
-    pub fn compute(x: &[f64], fs: f64) -> Self {
+    pub fn compute(x: &[f64], fs: Hertz) -> Self {
+        let fs = fs.value();
         assert!(x.len() >= 4, "periodogram needs at least 4 samples");
         assert!(fs > 0.0, "sample rate must be positive");
         let n = x.len();
@@ -69,50 +71,48 @@ impl Periodogram {
     }
 
     /// Total power in `[f_lo, f_hi]` (trapezoidal bin sum).
-    pub fn band_power(&self, f_lo: f64, f_hi: f64) -> f64 {
-        let df = if self.frequencies.len() > 1 {
-            self.frequencies[1] - self.frequencies[0]
-        } else {
-            0.0
+    pub fn band_power(&self, f_lo: Hertz, f_hi: Hertz) -> f64 {
+        let df = match (self.frequencies.first(), self.frequencies.get(1)) {
+            (Some(f0), Some(f1)) => f1 - f0,
+            _ => 0.0,
         };
         self.frequencies
             .iter()
             .zip(self.psd.iter())
-            .filter(|(f, _)| **f >= f_lo && **f <= f_hi)
+            .filter(|(f, _)| **f >= f_lo.value() && **f <= f_hi.value())
             .map(|(_, p)| p * df)
             .sum()
     }
 
-    /// Frequency of the largest PSD bin.
-    pub fn peak_frequency(&self) -> f64 {
-        self.frequencies
-            .iter()
-            .zip(self.psd.iter())
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite PSD"))
-            .map(|(f, _)| *f)
-            .unwrap_or(0.0)
+    /// Frequency of the largest PSD bin (0 Hz for an empty periodogram).
+    pub fn peak_frequency(&self) -> Hertz {
+        Hertz::new(
+            self.frequencies
+                .iter()
+                .zip(self.psd.iter())
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(f, _)| *f)
+                .unwrap_or(0.0),
+        )
     }
 
     /// Median PSD over `[f_lo, f_hi]` — a robust noise-floor estimate that
     /// ignores narrowband tones.
-    pub fn noise_floor(&self, f_lo: f64, f_hi: f64) -> f64 {
+    pub fn noise_floor(&self, f_lo: Hertz, f_hi: Hertz) -> f64 {
         let mut band: Vec<f64> = self
             .frequencies
             .iter()
             .zip(self.psd.iter())
-            .filter(|(f, _)| **f >= f_lo && **f <= f_hi)
+            .filter(|(f, _)| **f >= f_lo.value() && **f <= f_hi.value())
             .map(|(_, p)| *p)
             .collect();
-        if band.is_empty() {
-            return 0.0;
-        }
-        band.sort_by(|a, b| a.partial_cmp(b).expect("finite PSD"));
-        band[band.len() / 2]
+        band.sort_by(|a, b| a.total_cmp(b));
+        band.get(band.len() / 2).copied().unwrap_or(0.0)
     }
 
     /// Log-log slope of the PSD between two frequencies (decades of power
     /// per decade of frequency): ≈0 for white noise, ≈−1 for 1/f.
-    pub fn loglog_slope(&self, f_lo: f64, f_hi: f64) -> f64 {
+    pub fn loglog_slope(&self, f_lo: Hertz, f_hi: Hertz) -> f64 {
         let p_lo = self.noise_floor(f_lo, f_lo * 2.0);
         let p_hi = self.noise_floor(f_hi / 2.0, f_hi);
         if p_lo <= 0.0 || p_hi <= 0.0 {
@@ -126,6 +126,10 @@ impl Periodogram {
 mod tests {
     use super::*;
 
+    fn hz(v: f64) -> Hertz {
+        Hertz::new(v)
+    }
+
     fn sine(f: f64, fs: f64, n: usize, amp: f64) -> Vec<f64> {
         (0..n)
             .map(|k| amp * (2.0 * PI * f * k as f64 / fs).sin())
@@ -136,11 +140,11 @@ mod tests {
     fn sine_peak_lands_at_its_frequency() {
         let fs = 1000.0;
         let x = sine(100.0, fs, 1024, 1.0);
-        let p = Periodogram::compute(&x, fs);
+        let p = Periodogram::compute(&x, hz(fs));
         assert!(
-            (p.peak_frequency() - 100.0).abs() < 2.0,
+            (p.peak_frequency().value() - 100.0).abs() < 2.0,
             "peak at {}",
-            p.peak_frequency()
+            p.peak_frequency().value()
         );
     }
 
@@ -149,8 +153,8 @@ mod tests {
         // A sine of amplitude A has power A²/2.
         let fs = 1000.0;
         let x = sine(100.0, fs, 4096, 2.0);
-        let p = Periodogram::compute(&x, fs);
-        let power = p.band_power(90.0, 110.0);
+        let p = Periodogram::compute(&x, hz(fs));
+        let power = p.band_power(hz(90.0), hz(110.0));
         assert!((power - 2.0).abs() / 2.0 < 0.05, "power = {power}");
     }
 
@@ -164,11 +168,11 @@ mod tests {
                 (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
             })
             .collect();
-        let p = Periodogram::compute(&x, 1000.0);
-        let slope = p.loglog_slope(10.0, 400.0);
+        let p = Periodogram::compute(&x, hz(1000.0));
+        let slope = p.loglog_slope(hz(10.0), hz(400.0));
         assert!(slope.abs() < 0.3, "white slope = {slope}");
         // Parseval: total band power ≈ variance (1/12 for uniform).
-        let total = p.band_power(0.0, 500.0);
+        let total = p.band_power(hz(0.0), hz(500.0));
         assert!(
             (total - 1.0 / 12.0).abs() / (1.0 / 12.0) < 0.1,
             "total = {total}"
@@ -184,8 +188,8 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             *v += (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
         }
-        let p = Periodogram::compute(&x, fs);
-        let floor = p.noise_floor(150.0, 450.0);
+        let p = Periodogram::compute(&x, hz(fs));
+        let floor = p.noise_floor(hz(150.0), hz(450.0));
         let peak = p.psd[p
             .frequencies
             .iter()
@@ -196,7 +200,7 @@ mod tests {
 
     #[test]
     fn frequencies_are_uniform_grid() {
-        let p = Periodogram::compute(&vec![0.0; 256], 512.0);
+        let p = Periodogram::compute(&vec![0.0; 256], hz(512.0));
         assert_eq!(p.len(), 128);
         assert!((p.frequencies[0] - 2.0).abs() < 1e-12);
         assert!((p.frequencies[127] - 256.0).abs() < 1e-12);
@@ -205,6 +209,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 4")]
     fn rejects_tiny_input() {
-        Periodogram::compute(&[1.0, 2.0], 100.0);
+        Periodogram::compute(&[1.0, 2.0], hz(100.0));
     }
 }

@@ -77,14 +77,18 @@ impl SpikeDetector {
         if series.len() < 3 {
             return;
         }
-        let base = median_with(series, &mut scratch.sort);
+        // len >= 3 makes the median/MAD calls infallible; the fallbacks
+        // only defend the error-type boundary.
+        let base = median_with(series, &mut scratch.sort).unwrap_or(0.0);
         scratch.centered.clear();
         scratch.centered.extend(series.iter().map(|x| x - base));
         let centered = &scratch.centered;
 
         let sigma = match self.method {
             DetectionMethod::AmplitudeThreshold => {
-                let sigma = mad_sigma_with(centered, &mut scratch.sort).max(1e-30);
+                let sigma = mad_sigma_with(centered, &mut scratch.sort)
+                    .unwrap_or(0.0)
+                    .max(1e-30);
                 scratch.feature.clear();
                 scratch.feature.extend(centered.iter().map(|x| x.abs()));
                 sigma
@@ -96,7 +100,9 @@ impl SpikeDetector {
                     scratch.feature[i] =
                         centered[i] * centered[i] - centered[i - 1] * centered[i + 1];
                 }
-                mad_sigma_with(&scratch.feature, &mut scratch.sort).max(1e-30)
+                mad_sigma_with(&scratch.feature, &mut scratch.sort)
+                    .unwrap_or(0.0)
+                    .max(1e-30)
             }
         };
         let feature = &scratch.feature;
@@ -105,12 +111,18 @@ impl SpikeDetector {
         let mut skip_until = 0usize;
         let mut i = 0;
         while i < feature.len() {
-            if i >= skip_until && feature[i] > threshold {
+            let here = feature.get(i).copied().unwrap_or(0.0);
+            if i >= skip_until && here > threshold {
                 // Align to the local maximum within the refractory window.
                 let end = (i + self.refractory_samples.max(1)).min(feature.len());
-                let peak = (i..end)
-                    .max_by(|&a, &b| feature[a].partial_cmp(&feature[b]).expect("finite"))
-                    .expect("non-empty window");
+                let mut peak = i;
+                let mut peak_value = here;
+                for (j, &v) in feature.iter().enumerate().take(end).skip(i + 1) {
+                    if v > peak_value {
+                        peak = j;
+                        peak_value = v;
+                    }
+                }
                 out.push(peak);
                 skip_until = peak + self.refractory_samples.max(1);
                 i = skip_until;

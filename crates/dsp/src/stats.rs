@@ -1,5 +1,6 @@
 //! Robust statistics used throughout the readout pipeline.
 
+use crate::error::DspError;
 use serde::{Deserialize, Serialize};
 
 /// Streaming mean/variance accumulator (Welford's algorithm).
@@ -87,82 +88,83 @@ impl Extend<f64> for RunningStats {
 }
 
 /// Median of an already sorted slice (averages the middle pair for even
-/// lengths). Callers guarantee non-emptiness.
+/// lengths); NaN for an empty slice — public callers have already
+/// rejected that.
 fn median_of_sorted(v: &[f64]) -> f64 {
     let n = v.len();
+    let at = |i: usize| v.get(i).copied().unwrap_or(f64::NAN);
     if n % 2 == 1 {
-        v[n / 2]
+        at(n / 2)
     } else {
-        0.5 * (v[n / 2 - 1] + v[n / 2])
+        0.5 * (at((n / 2).wrapping_sub(1)) + at(n / 2))
     }
 }
 
 /// Median of a slice (averages the middle pair for even lengths).
 ///
-/// # Panics
-///
-/// Panics if the slice is empty.
-pub fn median(values: &[f64]) -> f64 {
+/// Errors on an empty slice. NaNs sort last (total order), so a
+/// NaN-contaminated input yields a NaN/odd median rather than a panic.
+pub fn median(values: &[f64]) -> Result<f64, DspError> {
     median_with(values, &mut Vec::with_capacity(values.len()))
 }
 
 /// [`median`] using a caller-provided scratch buffer for the sort copy —
-/// the allocation-free form for hot loops.
-///
-/// # Panics
-///
-/// Panics if the slice is empty.
-pub fn median_with(values: &[f64], scratch: &mut Vec<f64>) -> f64 {
-    assert!(!values.is_empty(), "median of empty slice");
+/// the allocation-free form for hot loops. Errors on an empty slice.
+pub fn median_with(values: &[f64], scratch: &mut Vec<f64>) -> Result<f64, DspError> {
+    if values.is_empty() {
+        return Err(DspError::EmptyInput { what: "median" });
+    }
     scratch.clear();
     scratch.extend_from_slice(values);
-    scratch.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
-    median_of_sorted(scratch)
+    scratch.sort_by(|a, b| a.total_cmp(b));
+    Ok(median_of_sorted(scratch))
 }
 
 /// Median absolute deviation, scaled by 1.4826 to estimate σ for Gaussian
-/// data.
-///
-/// # Panics
-///
-/// Panics if the slice is empty.
-pub fn mad_sigma(values: &[f64]) -> f64 {
+/// data. Errors on an empty slice.
+pub fn mad_sigma(values: &[f64]) -> Result<f64, DspError> {
     mad_sigma_with(values, &mut Vec::with_capacity(values.len()))
 }
 
 /// [`mad_sigma`] using a caller-provided scratch buffer — the
-/// allocation-free form for hot loops.
-///
-/// # Panics
-///
-/// Panics if the slice is empty.
-pub fn mad_sigma_with(values: &[f64], scratch: &mut Vec<f64>) -> f64 {
-    let med = median_with(values, scratch);
+/// allocation-free form for hot loops. Errors on an empty slice.
+pub fn mad_sigma_with(values: &[f64], scratch: &mut Vec<f64>) -> Result<f64, DspError> {
+    let med = median_with(values, scratch)?;
     scratch.clear();
     scratch.extend(values.iter().map(|x| (x - med).abs()));
-    scratch.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
-    1.4826 * median_of_sorted(scratch)
+    scratch.sort_by(|a, b| a.total_cmp(b));
+    Ok(1.4826 * median_of_sorted(scratch))
 }
 
 /// Linear-interpolated percentile `p` ∈ [0, 100].
 ///
-/// # Panics
-///
-/// Panics if the slice is empty or `p` is outside [0, 100].
-pub fn percentile(values: &[f64], p: f64) -> f64 {
-    assert!(!values.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+/// Errors on an empty slice or a `p` outside [0, 100].
+pub fn percentile(values: &[f64], p: f64) -> Result<f64, DspError> {
+    if values.is_empty() {
+        return Err(DspError::EmptyInput { what: "percentile" });
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(DspError::InvalidArgument {
+            what: "percentile p",
+            expected: "[0, 100]",
+        });
+    }
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let rank = p / 100.0 * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
-    if lo == hi {
-        v[lo]
+    let interpolated = if lo == hi {
+        v.get(lo).copied().unwrap_or(f64::NAN)
     } else {
         let frac = rank - lo as f64;
-        v[lo] * (1.0 - frac) + v[hi] * frac
-    }
+        let (a, b) = (v.get(lo), v.get(hi));
+        match (a, b) {
+            (Some(a), Some(b)) => a * (1.0 - frac) + b * frac,
+            _ => f64::NAN,
+        }
+    };
+    Ok(interpolated)
 }
 
 /// Fixed-width histogram over `[lo, hi)`; under/overflow are clamped into
@@ -194,7 +196,9 @@ impl Histogram {
     pub fn push(&mut self, x: f64) {
         let frac = ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
         let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
-        self.bins[idx] += 1;
+        if let Some(bin) = self.bins.get_mut(idx) {
+            *bin += 1;
+        }
     }
 
     /// The bin counts.
@@ -260,15 +264,15 @@ mod tests {
 
     #[test]
     fn median_odd_and_even() {
-        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
-        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
-        assert_eq!(median(&[7.0]), 7.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+        assert_eq!(median(&[7.0]).unwrap(), 7.0);
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
     fn median_rejects_empty() {
-        median(&[]);
+        assert_eq!(median(&[]), Err(DspError::EmptyInput { what: "median" }));
+        assert!(mad_sigma(&[]).is_err());
     }
 
     #[test]
@@ -286,7 +290,7 @@ mod tests {
             (sum - 6.0) * 2.0 // σ = 2
         };
         let data: Vec<f64> = (0..5000).map(|_| next()).collect();
-        let sigma = mad_sigma(&data);
+        let sigma = mad_sigma(&data).unwrap();
         assert!((sigma - 2.0).abs() < 0.15, "sigma = {sigma}");
     }
 
@@ -297,17 +301,19 @@ mod tests {
             *d = (k as f64 - 49.0) / 50.0; // uniform in [-0.98, 1.0]
         }
         data.push(1e9); // one wild outlier
-        let sigma = mad_sigma(&data);
+        let sigma = mad_sigma(&data).unwrap();
         assert!(sigma < 2.0, "MAD must ignore the outlier, got {sigma}");
     }
 
     #[test]
     fn percentile_interpolates() {
         let v = [0.0, 10.0, 20.0, 30.0, 40.0];
-        assert_eq!(percentile(&v, 0.0), 0.0);
-        assert_eq!(percentile(&v, 100.0), 40.0);
-        assert_eq!(percentile(&v, 50.0), 20.0);
-        assert_eq!(percentile(&v, 62.5), 25.0);
+        assert_eq!(percentile(&v, 0.0).unwrap(), 0.0);
+        assert_eq!(percentile(&v, 100.0).unwrap(), 40.0);
+        assert_eq!(percentile(&v, 50.0).unwrap(), 20.0);
+        assert_eq!(percentile(&v, 62.5).unwrap(), 25.0);
+        assert!(percentile(&v, 101.0).is_err());
+        assert!(percentile(&[], 50.0).is_err());
     }
 
     #[test]

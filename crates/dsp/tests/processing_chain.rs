@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! The DSP modules composed as the real readout pipeline: band-pass →
 //! detect → snippet → sort → score, on synthetic drifting recordings.
 
@@ -6,6 +7,7 @@ use bsa_dsp::snr::peak_snr;
 use bsa_dsp::sorting::{extract_snippets, sort_spikes};
 use bsa_dsp::spectrum::Periodogram;
 use bsa_dsp::spike::{score_detections, SpikeDetector};
+use bsa_units::Hertz;
 
 /// 2 kS/s series: slow sinusoidal drift + noise + biphasic spikes.
 fn synthetic_recording(spike_at: &[usize], amp: f64) -> Vec<f64> {
@@ -40,7 +42,7 @@ fn bandpass_rescues_detection_under_drift() {
     let raw_score = score_detections(&raw, &truth, 3);
 
     // Band-pass 20–500 Hz removes the drift, detection recovers.
-    let mut bp = BandPass::new(20.0, 500.0, 2000.0);
+    let mut bp = BandPass::new(Hertz::new(20.0), Hertz::new(500.0), Hertz::new(2000.0));
     let filtered = bp.process_slice(&series);
     let det = SpikeDetector::default().detect(&filtered);
     let score = score_detections(&det, &truth, 3);
@@ -63,7 +65,7 @@ fn bandpass_rescues_detection_under_drift() {
 fn filtering_improves_measured_snr() {
     let truth: Vec<usize> = (300..3700).step_by(500).collect();
     let series = synthetic_recording(&truth, 0.3);
-    let mut bp = BandPass::new(20.0, 500.0, 2000.0);
+    let mut bp = BandPass::new(Hertz::new(20.0), Hertz::new(500.0), Hertz::new(2000.0));
     let filtered = bp.process_slice(&series);
 
     let raw_snr = peak_snr(&series, &truth).unwrap();
@@ -77,22 +79,22 @@ fn filtering_improves_measured_snr() {
 #[test]
 fn spectrum_confirms_what_the_filter_removed() {
     let series = synthetic_recording(&[], 0.0);
-    let mut hp = Biquad::highpass(20.0, 2000.0);
+    let mut hp = Biquad::highpass(Hertz::new(20.0), Hertz::new(2000.0));
     let filtered = hp.process_slice(&series);
 
-    let before = Periodogram::compute(&series, 2000.0);
-    let after = Periodogram::compute(&filtered[500..], 2000.0);
+    let before = Periodogram::compute(&series, Hertz::new(2000.0));
+    let after = Periodogram::compute(&filtered[500..], Hertz::new(2000.0));
     // The 1 Hz drift dominates the raw spectrum's lowest band and is gone
     // after the high-pass.
-    let low_before = before.band_power(0.5, 5.0);
-    let low_after = after.band_power(0.5, 5.0);
+    let low_before = before.band_power(Hertz::new(0.5), Hertz::new(5.0));
+    let low_after = after.band_power(Hertz::new(0.5), Hertz::new(5.0));
     assert!(
         low_after < low_before / 100.0,
         "drift power {low_before} → {low_after}"
     );
     // Mid-band noise power is preserved within a factor of two.
-    let mid_before = before.band_power(100.0, 400.0);
-    let mid_after = after.band_power(100.0, 400.0);
+    let mid_before = before.band_power(Hertz::new(100.0), Hertz::new(400.0));
+    let mid_after = after.band_power(Hertz::new(100.0), Hertz::new(400.0));
     assert!((mid_after / mid_before - 1.0).abs() < 0.5);
 }
 
@@ -108,7 +110,7 @@ fn full_chain_detect_then_sort_two_amplitudes() {
         series[s + 1] -= 0.08;
     }
 
-    let mut bp = BandPass::new(20.0, 500.0, 2000.0);
+    let mut bp = BandPass::new(Hertz::new(20.0), Hertz::new(500.0), Hertz::new(2000.0));
     let filtered = bp.process_slice(&series);
     let det = SpikeDetector::default().detect(&filtered);
     let score = score_detections(&det, &truth, 3);

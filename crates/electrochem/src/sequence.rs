@@ -176,9 +176,16 @@ impl DnaSequence {
         let stride = self.len() as f64 / n as f64;
         for k in 0..n {
             let idx = (k as f64 * stride) as usize;
-            let old = bases[idx];
-            let pos = Base::ALL.iter().position(|b| *b == old).expect("base");
-            bases[idx] = Base::ALL[(pos + 1) % 4];
+            if let Some(b) = bases.get_mut(idx) {
+                // Any substitution that is not the identity works; cycle
+                // A→C→G→T→A so the mutation is deterministic.
+                *b = match *b {
+                    Base::A => Base::C,
+                    Base::C => Base::G,
+                    Base::G => Base::T,
+                    Base::T => Base::A,
+                };
+            }
         }
         Self { bases }
     }

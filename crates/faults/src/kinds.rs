@@ -198,9 +198,8 @@ impl PixelFaults {
 
     /// Folds one more injected fault into the aggregate state.
     ///
-    /// # Panics
-    ///
-    /// Panics if `kind` is not a pixel-level fault
+    /// Global (link-level) kinds — `ChannelLoss`, `SerialBitErrors` —
+    /// have no pixel-level effect and are ignored
     /// (see [`FaultKind::is_pixel_fault`]).
     pub fn merge(&mut self, kind: FaultKind) {
         match kind {
@@ -228,7 +227,8 @@ impl PixelFaults {
                 self.clip_limit = Some(self.clip_limit.map_or(limit, |l| l.min(limit)));
             }
             FaultKind::ChannelLoss { .. } | FaultKind::SerialBitErrors { .. } => {
-                panic!("{} is not a pixel-level fault", kind.class());
+                // Link-level faults live on the serial interface, not in
+                // the pixel; merging one here is a no-op by design.
             }
         }
     }
@@ -282,9 +282,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a pixel-level fault")]
-    fn channel_loss_rejected_as_pixel_fault() {
-        PixelFaults::default().merge(FaultKind::ChannelLoss { channel: 0 });
+    fn channel_loss_is_inert_on_a_pixel() {
+        let mut f = PixelFaults::default();
+        f.merge(FaultKind::ChannelLoss { channel: 0 });
+        f.merge(FaultKind::SerialBitErrors { rate: 0.5 });
+        assert!(!f.is_faulty());
     }
 
     #[test]

@@ -1,3 +1,6 @@
+// Tests unwrap idiomatically; the workspace-level `clippy::unwrap_used`
+// only polices non-test code (bsa-lint enforces the same split).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Fault-injection models for the CMOS biosensor array chips.
 //!
 //! Real sensor arrays ship with defects: electrodes shorted during

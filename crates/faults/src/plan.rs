@@ -127,12 +127,11 @@ impl InjectionPlan {
                     }
                 }
                 Target::Global => match *kind {
-                    FaultKind::ChannelLoss { channel } => {
-                        if !lost_channels.contains(&channel) {
-                            lost_channels.push(channel);
-                            *injected.entry(kind.class()).or_default() += 1;
-                        }
+                    FaultKind::ChannelLoss { channel } if !lost_channels.contains(&channel) => {
+                        lost_channels.push(channel);
+                        *injected.entry(kind.class()).or_default() += 1;
                     }
+                    FaultKind::ChannelLoss { .. } => {}
                     FaultKind::SerialBitErrors { rate } => {
                         // Independent error processes compose:
                         // p = 1 − (1−p₁)(1−p₂).
@@ -140,7 +139,10 @@ impl InjectionPlan {
                         serial_bit_error_rate = 1.0 - (1.0 - serial_bit_error_rate) * (1.0 - rate);
                         *injected.entry(kind.class()).or_default() += 1;
                     }
-                    _ => unreachable!("pixel faults never target Global"),
+                    // Pixel-class kinds need a pixel address; a Global
+                    // target gives them nothing to act on, so they are
+                    // dropped (and not counted as injected).
+                    _ => {}
                 },
             }
         }

@@ -1,0 +1,44 @@
+//! Seeded determinism violations. This file is a lint fixture: it is never
+//! compiled, only lexed by the self-tests. Every line carrying a tilde-comment
+//! marker must be flagged with exactly that rule (repeat the marker for
+//! multiple expected violations on one line); unmarked lines must be clean.
+
+use std::collections::HashMap; //~ det.hash-collection
+use std::time::Instant; //~ det.time
+
+pub fn timestamped_scan(frames: usize) -> f64 {
+    let started = Instant::now(); //~ det.time
+    let mut totals: HashMap<usize, f64> = HashMap::new(); //~ det.hash-collection //~ det.hash-collection
+    for f in 0..frames {
+        totals.insert(f, f as f64);
+    }
+    started.elapsed().as_secs_f64()
+}
+
+pub fn noisy_offset() -> f64 {
+    let mut rng = rand::thread_rng(); //~ det.rng
+    let jitter: f64 = rand::random(); //~ det.rng
+    rng.gen::<f64>() + jitter
+}
+
+pub fn wall_clock_epoch() -> u64 {
+    let t = SystemTime::now(); //~ det.time
+    t.elapsed().as_secs()
+}
+
+pub fn hash_dedup(ids: &[u32]) -> usize {
+    let seen: HashSet<u32> = ids.iter().copied().collect(); //~ det.hash-collection
+    seen.len()
+}
+
+pub fn thread_order_sum(x: &[f64]) -> f64 {
+    x.par_iter().map(|v| v * v).sum() //~ det.unordered-reduce
+}
+
+pub fn thread_order_reduce(x: &[f64]) -> f64 {
+    x.into_par_iter().reduce(|| 0.0, |a, b| a + b) //~ det.unordered-reduce
+}
+
+pub fn ordered_is_fine(x: &[f64]) -> Vec<f64> {
+    x.par_iter().map(|v| v * 2.0).collect()
+}

@@ -1,0 +1,43 @@
+//! Seeded unit-safety violations (lint fixture — lexed, never compiled).
+//! tilde-comment markers name the expected violation on that line.
+
+pub fn lowpass(
+    fc: f64, //~ units.raw-f64
+    fs: f64, //~ units.raw-f64
+) -> Biquad {
+    design(fc, fs)
+}
+
+pub fn band_power(psd: &Psd, f_lo: f64, f_hi: f64) -> f64 { //~ units.raw-f64 //~ units.raw-f64
+    psd.integrate(f_lo, f_hi)
+}
+
+pub fn set_electrode_bias(chip: &mut Chip, bias_voltage: f64) { //~ units.raw-f64
+    chip.bias = bias_voltage;
+}
+
+pub fn drive_current(sink_current: f64) -> f64 { //~ units.raw-f64
+    sink_current * 2.0
+}
+
+pub fn integrate_step(state: &mut State, dt: f64) { //~ units.raw-f64
+    state.t += dt;
+}
+
+pub(crate) fn settle(hold_time_s: f64) -> usize { //~ units.raw-f64
+    (hold_time_s * 2000.0) as usize
+}
+
+pub fn newtypes_and_dimensionless_are_fine(
+    fs: Hertz,
+    gain: f64,
+    ratio: f64,
+    samples: &[f64],
+    threshold_sigmas: f64,
+) -> f64 {
+    fs.value() * gain * ratio * threshold_sigmas + samples.len() as f64
+}
+
+fn private_helpers_are_exempt(fs: f64, dt: f64) -> f64 {
+    fs * dt
+}

@@ -1,0 +1,33 @@
+// Tests unwrap idiomatically; the workspace-level `clippy::unwrap_used`
+// only polices non-test code (bsa-lint enforces the same split).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+//! `bsa-lint` — workspace-wide invariant checker.
+//!
+//! Enforces three rule families over the biosensor-array crates, mirroring
+//! the guarantees the chips enforce in circuitry (DESIGN.md §9):
+//!
+//! 1. **Determinism** (`det.*`) — no wall-clock, unseeded RNG, hash-order
+//!    iteration or thread-order float reductions in the scan and DSP
+//!    paths, protecting the bit-identical-across-thread-counts replay
+//!    guarantee.
+//! 2. **Panic-freedom** (`panic.*`) — no `unwrap`/`expect`/panicking
+//!    macros/direct indexing in non-test library code; justified
+//!    exceptions live in `lint.allow.toml`, whose budgets are exact and
+//!    can only shrink.
+//! 3. **Unit-safety** (`units.raw-f64`) — public functions take
+//!    `bsa-units` newtypes (`Hertz`, `Volt`, `Ampere`, `Seconds`) rather
+//!    than raw `f64` for dimensioned scalars, so a pA-vs-nA or Hz-vs-rad
+//!    mixup fails to compile instead of silently corrupting a readout.
+//!
+//! Run it as `cargo run -p bsa-lint -- check`. The analyzer is
+//! dependency-free: it lexes Rust itself ([`lexer`]) instead of pulling in
+//! `syn`, so it keeps working in a bare offline checkout.
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use allow::{reconcile, AllowEntry, Allowlist, Reconciliation};
+pub use rules::{run_rules, RuleSet, Violation, RULE_IDS};
+pub use workspace::{check_file, check_workspace, collect_files, rules_for, workspace_root};

@@ -1,0 +1,161 @@
+//! Workspace discovery: which files to scan and which rule families apply.
+//!
+//! Scope policy (see DESIGN.md §9):
+//!
+//! * **determinism** (`det.*`) — `crates/core/src` and `crates/dsp/src`,
+//!   the scan/readout and signal-processing paths whose bit-identical
+//!   replay PR 2 guarantees.
+//! * **panic-freedom** (`panic.*`) — every library crate's `src/`,
+//!   including this one. `crates/bench` is excluded: it is a binary
+//!   harness where `unwrap` on startup is idiomatic.
+//! * **unit-safety** (`units.raw-f64`) — every library crate except
+//!   `crates/units` (which defines the newtypes in terms of raw `f64`)
+//!   and this crate (which has no physical API surface).
+
+use crate::lexer::{lex, strip_test_code};
+use crate::rules::{run_rules, RuleSet, Violation};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Returns the workspace root, resolved from this crate's manifest so the
+/// binary works regardless of the invoker's working directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .components()
+        .collect()
+}
+
+/// Decides which rule families apply to a workspace-relative path.
+pub fn rules_for(rel_path: &str) -> RuleSet {
+    if !rel_path.ends_with(".rs") {
+        return RuleSet::NONE;
+    }
+    // Binary bench harness: out of scope entirely.
+    if rel_path.starts_with("crates/bench/") {
+        return RuleSet::NONE;
+    }
+    let in_crate_src = |krate: &str| rel_path.starts_with(&format!("crates/{krate}/src/"));
+    let lib_src = (rel_path.starts_with("crates/") && rel_path.contains("/src/"))
+        || rel_path.starts_with("src/");
+    if !lib_src {
+        return RuleSet::NONE;
+    }
+    RuleSet {
+        determinism: in_crate_src("core") || in_crate_src("dsp"),
+        panic_freedom: true,
+        unit_safety: !in_crate_src("units") && !in_crate_src("lint"),
+    }
+}
+
+/// Collects every in-scope `.rs` file under the workspace root, as
+/// workspace-relative forward-slash paths, sorted for stable output.
+pub fn collect_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let krate = entry?.path();
+        if krate.is_dir() {
+            walk(&krate.join("src"), root, &mut files)?;
+        }
+    }
+    // The root package's own library source.
+    walk(&root.join("src"), root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if rules_for(&rel).any() {
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lexes, test-strips and rule-checks a single file.
+pub fn check_file(root: &Path, rel_path: &str) -> io::Result<Vec<Violation>> {
+    let source = fs::read_to_string(root.join(rel_path))?;
+    let tokens = strip_test_code(&lex(&source));
+    Ok(run_rules(rel_path, &tokens, rules_for(rel_path)))
+}
+
+/// Runs the full analysis over every in-scope workspace file.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut all = Vec::new();
+    for rel in collect_files(root)? {
+        all.extend(check_file(root, &rel)?);
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_policy() {
+        let core = rules_for("crates/core/src/scan.rs");
+        assert!(core.determinism && core.panic_freedom && core.unit_safety);
+
+        let dsp = rules_for("crates/dsp/src/filter.rs");
+        assert!(dsp.determinism && dsp.panic_freedom && dsp.unit_safety);
+
+        let circuit = rules_for("crates/circuit/src/mosfet.rs");
+        assert!(!circuit.determinism && circuit.panic_freedom && circuit.unit_safety);
+
+        let units = rules_for("crates/units/src/lib.rs");
+        assert!(units.panic_freedom && !units.unit_safety);
+
+        let lint = rules_for("crates/lint/src/rules.rs");
+        assert!(lint.panic_freedom && !lint.unit_safety && !lint.determinism);
+
+        assert!(!rules_for("crates/bench/src/bin/exp_f2.rs").any());
+        assert!(!rules_for("crates/core/tests/integration.rs").any());
+        assert!(!rules_for("crates/core/src/data.csv").any());
+        assert!(rules_for("src/lib.rs").panic_freedom);
+    }
+
+    #[test]
+    fn workspace_root_exists_and_has_manifest() {
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").is_file(), "{root:?}");
+    }
+
+    #[test]
+    fn collects_known_files() {
+        let root = workspace_root();
+        let files = collect_files(&root).expect("walk");
+        assert!(
+            files.iter().any(|f| f == "crates/core/src/lib.rs"),
+            "{files:?}"
+        );
+        assert!(files.iter().any(|f| f == "crates/lint/src/rules.rs"));
+        assert!(!files.iter().any(|f| f.starts_with("crates/bench/")));
+        // Sorted and unique.
+        let mut sorted = files.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(files, sorted);
+    }
+}

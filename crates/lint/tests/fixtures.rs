@@ -1,0 +1,109 @@
+//! Fixture self-tests: every `//~ rule` marker in `fixtures/*.rs` must be
+//! matched by exactly one reported violation of that rule on that line,
+//! and no unmarked line may be flagged. This pins both the hit rate and
+//! the false-positive rate of the analyzer.
+
+use bsa_lint::lexer::{lex, strip_test_code};
+use bsa_lint::rules::{run_rules, RuleSet};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+const ALL: RuleSet = RuleSet {
+    determinism: true,
+    panic_freedom: true,
+    unit_safety: true,
+};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Parses `//~ rule` markers into expected `(line, rule) -> count`.
+fn expected_markers(source: &str) -> BTreeMap<(usize, String), usize> {
+    let mut expected = BTreeMap::new();
+    for (idx, line) in source.lines().enumerate() {
+        for part in line.split("//~").skip(1) {
+            let rule = part
+                .split_whitespace()
+                .next()
+                .unwrap_or_else(|| panic!("empty //~ marker on line {}", idx + 1));
+            *expected
+                .entry((idx + 1, rule.to_string()))
+                .or_insert(0usize) += 1;
+        }
+    }
+    expected
+}
+
+fn check_fixture(name: &str, rules: RuleSet) {
+    let source = fixture(name);
+    let expected = expected_markers(&source);
+    let violations = run_rules(name, &strip_test_code(&lex(&source)), rules);
+
+    let mut actual: BTreeMap<(usize, String), usize> = BTreeMap::new();
+    for v in &violations {
+        *actual.entry((v.line, v.rule.to_string())).or_insert(0) += 1;
+    }
+
+    for ((line, rule), n) in &expected {
+        let got = actual.get(&(*line, rule.clone())).copied().unwrap_or(0);
+        assert_eq!(
+            got, *n,
+            "{name}:{line}: expected {n} × {rule}, analyzer reported {got}\nall: {violations:#?}"
+        );
+    }
+    for ((line, rule), n) in &actual {
+        let want = expected.get(&(*line, rule.clone())).copied().unwrap_or(0);
+        assert_eq!(
+            *n, want,
+            "{name}:{line}: analyzer reported {n} × {rule} but fixture marks {want} \
+             (false positive)\nall: {violations:#?}"
+        );
+    }
+}
+
+#[test]
+fn determinism_fixture_is_fully_flagged() {
+    check_fixture("determinism.rs", ALL);
+}
+
+#[test]
+fn panics_fixture_is_fully_flagged() {
+    check_fixture("panics.rs", ALL);
+}
+
+#[test]
+fn units_fixture_is_fully_flagged() {
+    check_fixture("units.rs", ALL);
+}
+
+#[test]
+fn clean_fixture_has_zero_violations() {
+    let source = fixture("clean.rs");
+    assert!(
+        expected_markers(&source).is_empty(),
+        "clean.rs must carry no markers"
+    );
+    let violations = run_rules("clean.rs", &strip_test_code(&lex(&source)), ALL);
+    assert!(violations.is_empty(), "{violations:#?}");
+}
+
+#[test]
+fn every_rule_id_is_exercised_by_some_fixture() {
+    let mut seen: Vec<String> = Vec::new();
+    for name in ["determinism.rs", "panics.rs", "units.rs"] {
+        for ((_, rule), _) in expected_markers(&fixture(name)) {
+            seen.push(rule);
+        }
+    }
+    for id in bsa_lint::RULE_IDS {
+        assert!(
+            seen.iter().any(|r| r == id),
+            "rule `{id}` has no seeded fixture violation"
+        );
+    }
+}

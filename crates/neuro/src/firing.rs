@@ -91,7 +91,7 @@ impl FiringPattern {
             }
             Self::Silent => Vec::new(),
         };
-        spikes.sort_by(|a, b| a.partial_cmp(b).expect("finite spike times"));
+        spikes.sort_by(|a, b| a.value().total_cmp(&b.value()));
         spikes
     }
 

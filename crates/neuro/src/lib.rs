@@ -1,3 +1,6 @@
+// Tests unwrap idiomatically; the workspace-level `clippy::unwrap_used`
+// only polices non-test code (bsa-lint enforces the same split).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Neuro-electrophysiology substrate for the neural-recording chip.
 //!
 //! Section 3 of Thewes et al. (DATE 2005) records "from nerve cells and

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! Cross-model consistency: the three point-neuron models and the
 //! junction agree on the qualitative physiology the chip relies on.
 

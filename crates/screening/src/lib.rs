@@ -1,3 +1,6 @@
+// Tests unwrap idiomatically; the workspace-level `clippy::unwrap_used`
+// only polices non-test code (bsa-lint enforces the same split).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! The drug-screening pipeline of paper Fig. 1.
 //!
 //! "Schematic diagram depicting the drug-screening process flow aiming to

@@ -1,3 +1,6 @@
+// Tests unwrap idiomatically; the workspace-level `clippy::unwrap_used`
+// only polices non-test code (bsa-lint enforces the same split).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Typed physical quantities for biosensor-ASIC simulation.
 //!
 //! Every analog quantity that crosses a module boundary in this workspace is

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! Property-based tests for the quantity algebra.
 
 use bsa_units::sweep::{decades, linspace, logspace};

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! SNP genotyping: the workload the paper's DNA chip targets.
 //!
 //! Two allele-specific probes (wild-type and variant, differing at one
@@ -26,7 +27,7 @@ fn column_median(
         .filter(|a| a.col >= lo && a.col < hi)
         .map(|a| readout.estimated_currents[g.index_of(a).unwrap()].value())
         .collect();
-    median(&v)
+    median(&v).unwrap_or(0.0)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

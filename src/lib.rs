@@ -1,3 +1,6 @@
+// Tests unwrap idiomatically; the workspace-level `clippy::unwrap_used`
+// only polices non-test code (bsa-lint enforces the same split).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Umbrella crate for the *CMOS-Based Biosensor Arrays* reproduction.
 //!
 //! This crate re-exports the workspace's public API so that the examples in

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! End-to-end integration: electrochemistry → DNA chip → DSP calling.
 
 use cmos_biosensor_arrays::chips::array::PixelAddress;

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! Property-based tests over the fault-injection subsystem: injection
 //! never panics, degraded readouts stay well-formed, and the error types
 //! behave like proper `std::error::Error`s.

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! End-to-end fault tolerance: every fault class injected into both chip
 //! pipelines, with graceful degradation down to correct genotyping calls.
 //!

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! End-to-end integration: neuron models → junction → neural chip → DSP.
 
 use cmos_biosensor_arrays::chips::array::{ArrayGeometry, PixelAddress};

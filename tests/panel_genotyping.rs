@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! End-to-end: probe-panel design → chip spotting → multiplexed assay →
 //! calling. The full workflow a microarray user runs.
 

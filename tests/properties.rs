@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! Property-based tests over the core data structures and invariants.
 
 use cmos_biosensor_arrays::chips::array::PixelAddress;

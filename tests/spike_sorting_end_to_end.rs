@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
 //! End-to-end spike sorting: two neurons over the same pixel, recorded
 //! through the chip, detected and separated by waveform shape.
 
