@@ -2,9 +2,10 @@
 #![allow(clippy::unwrap_used)]
 //! Benchmark-regression harness for the readout engine (experiment
 //! E-PERF): times the neuro chip's frame scan serial vs parallel and the
-//! DNA chip's 16×8 current-to-frequency conversion, then emits
-//! machine-readable JSON (`BENCH_neuro.json`, `BENCH_dna.json`) so CI can
-//! track throughput across commits.
+//! DNA chip's 16×8 current-to-frequency conversion, and the station's
+//! TCP loopback streaming path, then emits machine-readable JSON
+//! (`BENCH_neuro.json`, `BENCH_dna.json`, `BENCH_station.json`) so CI
+//! can track throughput across commits.
 //!
 //! The paper's neural chip streams 2 000 frames/s from 128×128 pixels;
 //! `realtime_factor` reports how far the simulation is from that rate.
@@ -247,6 +248,87 @@ fn bench_dna(args: &Args) -> String {
     json
 }
 
+/// Times the full wire path: an in-process station serves neuro frames
+/// over real loopback TCP, measured end to end at the client. The figure
+/// includes chip simulation, codec, CRC, and socket round trips — the
+/// cost of serving vs the in-process `bench_neuro` numbers.
+fn bench_station(args: &Args) -> String {
+    use bsa_link::{CultureSpec, NeuroChipSpec};
+    use bsa_station::{Station, StationClient, StationConfig};
+
+    let (rows, channels, frames, reps) = if args.quick {
+        (16u16, 4u16, args.frames.unwrap_or(32) as u32, 3usize)
+    } else {
+        (128, 16, args.frames.unwrap_or(64) as u32, 3)
+    };
+    let spec = NeuroChipSpec {
+        rows,
+        cols: rows,
+        channels,
+        seed: 0x0EE5_1281,
+        frame_rate_hz: 0.0,
+    };
+    let culture = CultureSpec {
+        seed: 7,
+        neuron_count: if args.quick { 5 } else { 20 },
+        spike_duration_s: f64::from(frames) / 2000.0,
+    };
+
+    let station = Station::bind(StationConfig::default()).expect("bind loopback station");
+    let mut client = StationClient::connect(station.addr(), "bench").expect("connect");
+    let attached = client.attach_neuro(&spec).expect("attach neuro chip");
+
+    let chunk = 8u32;
+    // Warm-up pass (fills the chip's frame arena, warms the stack).
+    let bytes_before = station.stats().bytes_sent;
+    client
+        .stream_neuro(attached.chip, frames, chunk, Seconds::ZERO, &culture)
+        .expect("warm-up stream");
+    let bytes_per_stream = station.stats().bytes_sent - bytes_before;
+
+    let mut best = f64::INFINITY;
+    let mut dropped_total = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let stream = client
+            .stream_neuro(attached.chip, frames, chunk, Seconds::ZERO, &culture)
+            .expect("timed stream");
+        best = best.min(start.elapsed().as_secs_f64());
+        dropped_total += u64::from(stream.frames_dropped);
+    }
+
+    let fps = f64::from(frames) / best;
+    let bytes_per_s = bytes_per_stream as f64 / best;
+    let realtime = fps / NEURO_REALTIME_HZ;
+
+    println!(
+        "station {rows}x{rows}/{channels}ch loopback, {frames} frames: \
+         {fps:.1} frames/s over TCP ({:.1} MB/s, {:.3}x realtime, {dropped_total} dropped)",
+        bytes_per_s / 1e6,
+        realtime
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bsa-bench-station/v1\",");
+    let _ = writeln!(json, "  \"transport\": \"tcp-loopback\",");
+    let _ = writeln!(json, "  \"rows\": {rows},");
+    let _ = writeln!(json, "  \"cols\": {rows},");
+    let _ = writeln!(json, "  \"channels\": {channels},");
+    let _ = writeln!(json, "  \"frames\": {frames},");
+    let _ = writeln!(json, "  \"chunk_frames\": {chunk},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"stream_s\": {},", jnum(best));
+    let _ = writeln!(json, "  \"frames_per_s\": {},", jnum(fps));
+    let _ = writeln!(json, "  \"bytes_per_stream\": {bytes_per_stream},");
+    let _ = writeln!(json, "  \"bytes_per_s\": {},", jnum(bytes_per_s));
+    let _ = writeln!(json, "  \"frames_dropped\": {dropped_total},");
+    let _ = writeln!(json, "  \"realtime_hz\": {},", jnum(NEURO_REALTIME_HZ));
+    let _ = writeln!(json, "  \"realtime_factor\": {}", jnum(realtime));
+    json.push('}');
+    json.push('\n');
+    json
+}
+
 fn main() {
     let args = parse_args();
     banner(
@@ -257,11 +339,19 @@ fn main() {
 
     let neuro = bench_neuro(&args);
     let dna = bench_dna(&args);
+    let station = bench_station(&args);
 
     std::fs::create_dir_all(&args.out).expect("create output directory");
     let neuro_path = args.out.join("BENCH_neuro.json");
     let dna_path = args.out.join("BENCH_dna.json");
+    let station_path = args.out.join("BENCH_station.json");
     std::fs::write(&neuro_path, neuro).expect("write BENCH_neuro.json");
     std::fs::write(&dna_path, dna).expect("write BENCH_dna.json");
-    println!("wrote {} and {}", neuro_path.display(), dna_path.display());
+    std::fs::write(&station_path, station).expect("write BENCH_station.json");
+    println!(
+        "wrote {}, {} and {}",
+        neuro_path.display(),
+        dna_path.display(),
+        station_path.display()
+    );
 }

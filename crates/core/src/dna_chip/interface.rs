@@ -15,6 +15,7 @@
 
 use crate::array::PixelAddress;
 use bsa_circuit::digital::{Deserializer, ShiftRegister};
+use bsa_link::crc::Crc8;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -89,19 +90,14 @@ fn pack(reading: &PixelReading) -> u64 {
 fn checksum_of(body: u64) -> u8 {
     // CRC-8 (poly 0x07, init 0x00) over the six body bytes, MSB first.
     // Unlike a byte-XOR parity it catches all 2-bit errors within a word
-    // and all burst errors up to 8 bits.
-    let mut crc = 0u8;
+    // and all burst errors up to 8 bits. The generator lives in
+    // `bsa_link::crc` so the chip serial link and the host wire protocol
+    // share one implementation.
+    let mut crc = Crc8::new();
     for k in (0..6).rev() {
-        crc ^= ((body >> (8 * k)) & 0xFF) as u8;
-        for _ in 0..8 {
-            crc = if crc & 0x80 != 0 {
-                (crc << 1) ^ 0x07
-            } else {
-                crc << 1
-            };
-        }
+        crc.update(((body >> (8 * k)) & 0xFF) as u8);
     }
-    crc
+    crc.finish()
 }
 
 /// Encodes pixel readings into the serial bit stream (MSB-first), exactly

@@ -1,0 +1,104 @@
+//! CRC-8 with polynomial 0x07, the single checksum shared by the chip
+//! serial link (`bsa-core::dna_chip::interface`, 56-bit words) and the
+//! host wire protocol (frame trailer).
+//!
+//! Parameters: polynomial x⁸+x²+x+1 (0x07), initial value 0x00, MSB-first,
+//! no reflection, no final XOR — the same generator the paper's serial
+//! interface uses to protect count words.
+//!
+//! CRC-8 detects every single-byte corruption (any burst up to 8 bits),
+//! which is the property the corruption tests in `crates/link/tests/`
+//! exercise exhaustively.
+
+/// Generator polynomial x⁸ + x² + x + 1.
+pub const CRC8_POLY: u8 = 0x07;
+
+/// Streaming CRC-8 state, for callers that feed bytes incrementally
+/// (e.g. framing code hashing a header and a payload held in separate
+/// buffers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Crc8 {
+    state: u8,
+}
+
+impl Crc8 {
+    /// Fresh state (initial value 0x00).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { state: 0 }
+    }
+
+    /// Folds one byte into the state, MSB first.
+    pub fn update(&mut self, byte: u8) {
+        let mut crc = self.state ^ byte;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ CRC8_POLY
+            } else {
+                crc << 1
+            };
+        }
+        self.state = crc;
+    }
+
+    /// Folds a byte slice into the state.
+    pub fn update_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.update(b);
+        }
+    }
+
+    /// Returns the checksum of everything fed so far.
+    #[must_use]
+    pub const fn finish(self) -> u8 {
+        self.state
+    }
+}
+
+/// One-shot CRC-8 over a byte slice.
+#[must_use]
+pub fn crc8(bytes: &[u8]) -> u8 {
+    let mut crc = Crc8::new();
+    crc.update_bytes(bytes);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard CRC-8/SMBUS-style check value for "123456789" with
+        // poly 0x07, init 0x00, no reflect, no xorout is 0xF4.
+        assert_eq!(crc8(b"123456789"), 0xF4);
+        assert_eq!(crc8(&[]), 0x00);
+        assert_eq!(crc8(&[0x00]), 0x00);
+        assert_eq!(crc8(&[0x01]), 0x07);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data = b"the quick brown fox";
+        let (a, b) = data.split_at(7);
+        let mut crc = Crc8::new();
+        crc.update_bytes(a);
+        crc.update_bytes(b);
+        assert_eq!(crc.finish(), crc8(data));
+    }
+
+    #[test]
+    fn detects_every_single_byte_flip() {
+        let data: Vec<u8> = (0u8..64).collect();
+        let clean = crc8(&data);
+        for i in 0..data.len() {
+            for mask in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = data.clone();
+                if let Some(byte) = corrupt.get_mut(i) {
+                    *byte ^= mask;
+                }
+                assert_ne!(crc8(&corrupt), clean, "flip at {i} mask {mask:#x}");
+            }
+        }
+    }
+}

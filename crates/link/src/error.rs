@@ -1,0 +1,112 @@
+//! Typed decode failures. Every way a frame or payload can be malformed
+//! maps to a [`ProtocolError`] variant — the decoder has no panicking
+//! paths.
+
+use std::fmt;
+use std::io;
+
+/// Why a frame or message failed to decode.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The first two bytes were not the frame magic.
+    BadMagic {
+        /// The bytes actually seen.
+        got: [u8; 2],
+    },
+    /// The frame declared a protocol version this build does not speak.
+    UnsupportedVersion {
+        /// The version byte seen on the wire.
+        got: u8,
+    },
+    /// The declared payload length exceeds [`crate::MAX_PAYLOAD`].
+    FrameTooLarge {
+        /// Declared payload length in bytes.
+        len: usize,
+    },
+    /// The frame checksum did not match the received bytes.
+    BadCrc {
+        /// Checksum computed over the received header + payload.
+        expected: u8,
+        /// Checksum byte carried by the frame.
+        got: u8,
+    },
+    /// The buffer ended before the structure it claimed to hold.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Bytes were left over after a complete structure was decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        count: usize,
+    },
+    /// A tag byte did not name any known variant.
+    UnknownTag {
+        /// Which tagged union was being decoded.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A field held a value outside its domain (e.g. a bool byte that is
+    /// neither 0 nor 1, or a count larger than the remaining payload).
+    InvalidValue {
+        /// Which field was being decoded.
+        what: &'static str,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8,
+    /// The underlying transport failed while reading or writing a frame.
+    Io(io::Error),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic { got: [a, b] } => {
+                write!(f, "bad frame magic {a:#04x} {b:#04x}")
+            }
+            Self::UnsupportedVersion { got } => {
+                write!(f, "unsupported protocol version {got}")
+            }
+            Self::FrameTooLarge { len } => {
+                write!(f, "declared payload of {len} bytes exceeds the frame limit")
+            }
+            Self::BadCrc { expected, got } => {
+                write!(
+                    f,
+                    "frame CRC mismatch: computed {expected:#04x}, frame carried {got:#04x}"
+                )
+            }
+            Self::Truncated { needed, available } => {
+                write!(f, "truncated input: needed {needed} bytes, had {available}")
+            }
+            Self::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after a complete message")
+            }
+            Self::UnknownTag { what, tag } => {
+                write!(f, "unknown {what} tag {tag:#04x}")
+            }
+            Self::InvalidValue { what } => write!(f, "invalid value for {what}"),
+            Self::BadUtf8 => write!(f, "length-prefixed string is not valid UTF-8"),
+            Self::Io(err) => write!(f, "transport error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtocolError {
+    fn from(err: io::Error) -> Self {
+        Self::Io(err)
+    }
+}

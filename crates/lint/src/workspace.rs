@@ -2,9 +2,15 @@
 //!
 //! Scope policy (see DESIGN.md §9):
 //!
-//! * **determinism** (`det.*`) — `crates/core/src` and `crates/dsp/src`,
-//!   the scan/readout and signal-processing paths whose bit-identical
-//!   replay PR 2 guarantees.
+//! * **determinism** (`det.*`) — `crates/core/src`, `crates/dsp/src`
+//!   and `crates/link/src`: the scan/readout and signal-processing
+//!   paths whose bit-identical replay PR 2 guarantees, plus the wire
+//!   codec (a codec that consulted clocks or random state could not be
+//!   a pure function of its bytes). `crates/station` is deliberately
+//!   *not* in `det.*` scope: it is the serving layer, where wall-clock
+//!   time is legitimate (session read timeouts, socket lifecycle) —
+//!   the determinism boundary sits at the chip API it calls into (see
+//!   DESIGN.md §10).
 //! * **panic-freedom** (`panic.*`) — every library crate's `src/`,
 //!   including this one. `crates/bench` is excluded: it is a binary
 //!   harness where `unwrap` on startup is idiomatic.
@@ -43,7 +49,7 @@ pub fn rules_for(rel_path: &str) -> RuleSet {
         return RuleSet::NONE;
     }
     RuleSet {
-        determinism: in_crate_src("core") || in_crate_src("dsp"),
+        determinism: in_crate_src("core") || in_crate_src("dsp") || in_crate_src("link"),
         panic_freedom: true,
         unit_safety: !in_crate_src("units") && !in_crate_src("lint"),
     }
@@ -129,6 +135,15 @@ mod tests {
 
         let lint = rules_for("crates/lint/src/rules.rs");
         assert!(lint.panic_freedom && !lint.unit_safety && !lint.determinism);
+
+        // The wire codec must be a pure function of its bytes: full scope.
+        let link = rules_for("crates/link/src/message.rs");
+        assert!(link.determinism && link.panic_freedom && link.unit_safety);
+
+        // The serving layer may touch wall-clock (timeouts, sockets) but
+        // still must not panic and must keep units typed.
+        let station = rules_for("crates/station/src/server.rs");
+        assert!(!station.determinism && station.panic_freedom && station.unit_safety);
 
         assert!(!rules_for("crates/bench/src/bin/exp_f2.rs").any());
         assert!(!rules_for("crates/core/tests/integration.rs").any());

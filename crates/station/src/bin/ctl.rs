@@ -1,0 +1,213 @@
+//! `bsa-ctl` — command-line client for a running `bsa-station`.
+//!
+//! ```text
+//! bsa-ctl [--addr HOST:PORT | --local] stats
+//! bsa-ctl [--addr HOST:PORT | --local] assay  [--seed N]
+//! bsa-ctl [--addr HOST:PORT | --local] stream [--frames N] [--rows N] [--cols N]
+//!                                              [--channels N] [--seed N]
+//! ```
+//!
+//! `--local` spins up an in-process station on a loopback port and runs
+//! the command against it — a one-command end-to-end smoke test.
+
+use bsa_link::{CultureSpec, DnaChipSpec, NeuroChipSpec, TargetSpec};
+use bsa_station::{Station, StationClient, StationConfig, StationHandle};
+use bsa_units::Seconds;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: bsa-ctl [--addr HOST:PORT | --local] <stats | assay | stream> [options]\n\
+     \n\
+     commands:\n\
+     stats                      print station counters\n\
+     assay  [--seed N]          run a small DNA assay end to end\n\
+     stream [--frames N] [--rows N] [--cols N] [--channels N] [--seed N]\n\
+     \x20                          record and stream neuro frames\n\
+     \n\
+     connection:\n\
+     --addr HOST:PORT           connect to a running station (default 127.0.0.1:7801)\n\
+     --local                    run against an in-process station"
+}
+
+struct Options {
+    addr: String,
+    local: bool,
+    command: String,
+    frames: u32,
+    rows: u16,
+    cols: u16,
+    channels: u16,
+    seed: u64,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:7801".into(),
+        local: false,
+        command: String::new(),
+        frames: 64,
+        rows: 32,
+        cols: 32,
+        channels: 8,
+        seed: 0x0EE5_1281,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = value_for("--addr")?,
+            "--local" => opts.local = true,
+            "--frames" => opts.frames = parse_num(&value_for("--frames")?, "--frames")?,
+            "--rows" => opts.rows = parse_num(&value_for("--rows")?, "--rows")?,
+            "--cols" => opts.cols = parse_num(&value_for("--cols")?, "--cols")?,
+            "--channels" => opts.channels = parse_num(&value_for("--channels")?, "--channels")?,
+            "--seed" => opts.seed = parse_num(&value_for("--seed")?, "--seed")?,
+            "--help" | "-h" => return Err(String::new()),
+            cmd if !cmd.starts_with('-') && opts.command.is_empty() => {
+                opts.command = cmd.to_string();
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if opts.command.is_empty() {
+        return Err("missing command".into());
+    }
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value.parse::<T>().map_err(|e| format!("{flag}: {e}"))
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    // Keep the in-process station alive for the whole command.
+    let local: Option<StationHandle> = if opts.local {
+        Some(Station::bind(StationConfig::default()).map_err(|e| format!("local bind: {e}"))?)
+    } else {
+        None
+    };
+    let addr = local
+        .as_ref()
+        .map_or_else(|| opts.addr.clone(), |h| h.addr().to_string());
+    let mut client =
+        StationClient::connect(&addr, "bsa-ctl").map_err(|e| format!("connect {addr}: {e}"))?;
+
+    match opts.command.as_str() {
+        "stats" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!("sessions opened   {}", stats.sessions_opened);
+            println!("sessions active   {}", stats.sessions_active);
+            println!("chips attached    {}", stats.chips_attached);
+            println!("requests          {}", stats.requests);
+            println!("frames served     {}", stats.frames_served);
+            println!("frames dropped    {}", stats.frames_dropped);
+            println!("chunks sent       {}", stats.chunks_sent);
+            println!("bytes sent        {}", stats.bytes_sent);
+            println!("queue peak        {}", stats.queue_peak);
+        }
+        "assay" => {
+            let attached = client
+                .attach_dna(&DnaChipSpec {
+                    rows: 0,
+                    cols: 0,
+                    seed: opts.seed,
+                    frame_time_s: 0.0,
+                })
+                .map_err(|e| e.to_string())?;
+            println!(
+                "attached DNA chip {} ({}x{})",
+                attached.chip, attached.rows, attached.cols
+            );
+            let cal = client.calibrate(attached.chip).map_err(|e| e.to_string())?;
+            println!(
+                "calibrated: {} healthy / {} out-of-family / {} dead",
+                cal.healthy, cal.out_of_family, cal.dead
+            );
+            let probe = "ACGTACGTACGT";
+            client
+                .configure_assay(
+                    attached.chip,
+                    vec![probe.to_string()],
+                    vec![TargetSpec {
+                        sequence: probe.to_string(),
+                        concentration_molar: 1e-9,
+                    }],
+                )
+                .map_err(|e| e.to_string())?;
+            let outcome = client
+                .run_assay(attached.chip, true)
+                .map_err(|e| e.to_string())?;
+            let max = outcome.counts.iter().max().copied().unwrap_or(0);
+            println!(
+                "assay done: {} pixels, {} streamed readings, max count {}",
+                outcome.counts.len(),
+                outcome.streamed.len(),
+                max
+            );
+        }
+        "stream" => {
+            let attached = client
+                .attach_neuro(&NeuroChipSpec {
+                    rows: opts.rows,
+                    cols: opts.cols,
+                    channels: opts.channels,
+                    seed: opts.seed,
+                    frame_rate_hz: 0.0,
+                })
+                .map_err(|e| e.to_string())?;
+            println!(
+                "attached neuro chip {} ({}x{})",
+                attached.chip, attached.rows, attached.cols
+            );
+            let stream = client
+                .stream_neuro(
+                    attached.chip,
+                    opts.frames,
+                    0,
+                    Seconds::new(0.0),
+                    &CultureSpec {
+                        seed: opts.seed,
+                        neuron_count: 0,
+                        spike_duration_s: opts.frames as f64 / 2000.0,
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+            println!(
+                "streamed {} frames in {} chunks ({} sent, {} dropped by backpressure)",
+                stream.frames.len(),
+                stream.chunks,
+                stream.frames_sent,
+                stream.frames_dropped
+            );
+        }
+        other => return Err(format!("unknown command {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(opts) => match run(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

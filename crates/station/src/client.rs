@@ -1,0 +1,442 @@
+//! Blocking client for the station protocol: connect, drive chips,
+//! collect streams. This is the library behind the `bsa-ctl` binary and
+//! the loopback tests.
+
+use bsa_link::{
+    read_message, write_message, ChipId, ChipKind, CultureSpec, DnaChipSpec, ErrorCode,
+    FaultPlanSpec, Message, NeuroChipSpec, PixelCount, ProtocolError, StatsSnapshot, StreamPayload,
+    TargetSpec, YieldSummary,
+};
+use bsa_units::Seconds;
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// Transport or decode failure.
+    Protocol(ProtocolError),
+    /// The station answered with an `ErrorReply`.
+    Server {
+        /// Error class reported by the station.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The station answered with a message the request does not expect.
+    Unexpected {
+        /// What the client was waiting for.
+        expected: &'static str,
+        /// Debug rendering of what arrived.
+        got: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Protocol(err) => write!(f, "protocol failure: {err}"),
+            Self::Server { code, message } => write!(f, "station error ({code:?}): {message}"),
+            Self::Unexpected { expected, got } => {
+                write!(f, "expected {expected}, station sent {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Protocol(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(err: ProtocolError) -> Self {
+        Self::Protocol(err)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(err: std::io::Error) -> Self {
+        Self::Protocol(ProtocolError::Io(err))
+    }
+}
+
+/// Chip metadata returned by the attach calls.
+#[derive(Debug, Clone, Copy)]
+pub struct AttachedChip {
+    /// Session-scoped chip handle.
+    pub chip: ChipId,
+    /// Which array kind was attached.
+    pub kind: ChipKind,
+    /// Array rows.
+    pub rows: u16,
+    /// Array columns.
+    pub cols: u16,
+}
+
+/// Result of a remote DNA assay.
+#[derive(Debug, Clone)]
+pub struct AssayOutcome {
+    /// Per-pixel event counts in scan order.
+    pub counts: Vec<u64>,
+    /// Estimated sensor currents in amperes, scan order.
+    pub estimated_currents_a: Vec<f64>,
+    /// Count readings received over the stream (empty unless streaming
+    /// was requested).
+    pub streamed: Vec<PixelCount>,
+    /// Readings delivered / dropped by backpressure, when streamed.
+    pub stream_accounting: Option<(u32, u32)>,
+}
+
+/// Result of a remote neuro stream.
+#[derive(Debug, Clone)]
+pub struct NeuroStream {
+    /// Frame height in pixels.
+    pub rows: u16,
+    /// Frame width in pixels.
+    pub cols: u16,
+    /// Received frames, each `rows * cols` row-major samples, bit-exact
+    /// as recorded. Dropped frames are absent (see `frames_dropped`).
+    pub frames: Vec<Vec<f64>>,
+    /// Frames the station delivered into the session queue.
+    pub frames_sent: u32,
+    /// Frames dropped by backpressure.
+    pub frames_dropped: u32,
+    /// Stream chunks received.
+    pub chunks: u32,
+}
+
+/// Calibration counts returned by [`StationClient::calibrate`].
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationCounts {
+    /// Pixels healthy after calibration.
+    pub healthy: u32,
+    /// Pixels out of family.
+    pub out_of_family: u32,
+    /// Dead pixels.
+    pub dead: u32,
+}
+
+/// A blocking protocol client over one TCP connection.
+#[derive(Debug)]
+pub struct StationClient {
+    stream: TcpStream,
+}
+
+impl StationClient {
+    /// Connects and performs the `Hello`/`HelloAck` handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures and handshake protocol violations.
+    pub fn connect<A: ToSocketAddrs>(addr: A, identity: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = Self { stream };
+        match client.roundtrip(&Message::Hello {
+            client: identity.to_string(),
+        })? {
+            Message::HelloAck { .. } => Ok(client),
+            other => Err(unexpected("HelloAck", &other)),
+        }
+    }
+
+    /// Sends one request and reads one response, mapping `ErrorReply` to
+    /// [`ClientError::Server`].
+    fn roundtrip(&mut self, request: &Message) -> Result<Message, ClientError> {
+        write_message(&mut self.stream, request)?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> Result<Message, ClientError> {
+        match read_message(&mut self.stream)? {
+            Message::ErrorReply { code, message } => Err(ClientError::Server { code, message }),
+            msg => Ok(msg),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a reply that is not `Pong` with the token.
+    pub fn ping(&mut self, token: u64) -> Result<(), ClientError> {
+        match self.roundtrip(&Message::Ping { token })? {
+            Message::Pong { token: t } if t == token => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Attaches a simulated DNA chip.
+    ///
+    /// # Errors
+    ///
+    /// Station-side validation failures surface as [`ClientError::Server`].
+    pub fn attach_dna(&mut self, spec: &DnaChipSpec) -> Result<AttachedChip, ClientError> {
+        match self.roundtrip(&Message::AttachDna(spec.clone()))? {
+            Message::Attached {
+                chip,
+                kind,
+                rows,
+                cols,
+            } => Ok(AttachedChip {
+                chip,
+                kind,
+                rows,
+                cols,
+            }),
+            other => Err(unexpected("Attached", &other)),
+        }
+    }
+
+    /// Attaches a simulated neural-recording chip.
+    ///
+    /// # Errors
+    ///
+    /// Station-side validation failures surface as [`ClientError::Server`].
+    pub fn attach_neuro(&mut self, spec: &NeuroChipSpec) -> Result<AttachedChip, ClientError> {
+        match self.roundtrip(&Message::AttachNeuro(spec.clone()))? {
+            Message::Attached {
+                chip,
+                kind,
+                rows,
+                cols,
+            } => Ok(AttachedChip {
+                chip,
+                kind,
+                rows,
+                cols,
+            }),
+            other => Err(unexpected("Attached", &other)),
+        }
+    }
+
+    /// Detaches a chip.
+    ///
+    /// # Errors
+    ///
+    /// Unknown handles surface as [`ClientError::Server`].
+    pub fn detach(&mut self, chip: ChipId) -> Result<(), ClientError> {
+        match self.roundtrip(&Message::Detach { chip })? {
+            Message::Detached { .. } => Ok(()),
+            other => Err(unexpected("Detached", &other)),
+        }
+    }
+
+    /// Spots probes onto a DNA chip and sets the sample mix.
+    ///
+    /// # Errors
+    ///
+    /// Bad sequences or the wrong chip kind surface as
+    /// [`ClientError::Server`].
+    pub fn configure_assay(
+        &mut self,
+        chip: ChipId,
+        probes: Vec<String>,
+        targets: Vec<TargetSpec>,
+    ) -> Result<(), ClientError> {
+        match self.roundtrip(&Message::ConfigureAssay {
+            chip,
+            probes,
+            targets,
+        })? {
+            Message::Ack => Ok(()),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// Runs the chip's calibration loop.
+    ///
+    /// # Errors
+    ///
+    /// Unknown handles surface as [`ClientError::Server`].
+    pub fn calibrate(&mut self, chip: ChipId) -> Result<CalibrationCounts, ClientError> {
+        match self.roundtrip(&Message::Calibrate { chip })? {
+            Message::CalibrationDone {
+                healthy,
+                out_of_family,
+                dead,
+                ..
+            } => Ok(CalibrationCounts {
+                healthy,
+                out_of_family,
+                dead,
+            }),
+            other => Err(unexpected("CalibrationDone", &other)),
+        }
+    }
+
+    /// Applies a fault-injection plan.
+    ///
+    /// # Errors
+    ///
+    /// Plan/chip mismatches surface as [`ClientError::Server`].
+    pub fn inject_faults(&mut self, chip: ChipId, plan: FaultPlanSpec) -> Result<(), ClientError> {
+        match self.roundtrip(&Message::InjectFaults { chip, plan })? {
+            Message::Ack => Ok(()),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// Fetches a chip's yield report.
+    ///
+    /// # Errors
+    ///
+    /// Unknown handles surface as [`ClientError::Server`].
+    pub fn health(&mut self, chip: ChipId) -> Result<YieldSummary, ClientError> {
+        match self.roundtrip(&Message::QueryHealth { chip })? {
+            Message::HealthReport { report, .. } => Ok(report),
+            other => Err(unexpected("HealthReport", &other)),
+        }
+    }
+
+    /// Runs a DNA assay, optionally streaming per-pixel counts.
+    ///
+    /// # Errors
+    ///
+    /// Wrong chip kind / unknown handles surface as
+    /// [`ClientError::Server`]; stream-protocol violations as
+    /// [`ClientError::Unexpected`].
+    pub fn run_assay(
+        &mut self,
+        chip: ChipId,
+        stream_counts: bool,
+    ) -> Result<AssayOutcome, ClientError> {
+        write_message(
+            &mut self.stream,
+            &Message::RunAssay {
+                chip,
+                stream_counts,
+            },
+        )?;
+        let mut streamed = Vec::new();
+        let mut stream_accounting = None;
+        loop {
+            match self.read_reply()? {
+                Message::StreamData {
+                    payload: StreamPayload::DnaCounts { readings },
+                    ..
+                } => streamed.extend(readings),
+                Message::StreamEnd {
+                    frames_sent,
+                    frames_dropped,
+                    ..
+                } => {
+                    stream_accounting = Some((frames_sent, frames_dropped));
+                }
+                Message::AssayResult {
+                    counts,
+                    estimated_currents_a,
+                    ..
+                } => {
+                    return Ok(AssayOutcome {
+                        counts,
+                        estimated_currents_a,
+                        streamed,
+                        stream_accounting,
+                    });
+                }
+                other => return Err(unexpected("AssayResult", &other)),
+            }
+        }
+    }
+
+    /// Records `frames` frames from a neuro chip against the specified
+    /// culture and collects the stream. `chunk_frames = 0` uses the
+    /// server default.
+    ///
+    /// # Errors
+    ///
+    /// Wrong chip kind / oversized requests surface as
+    /// [`ClientError::Server`]; malformed chunks as
+    /// [`ClientError::Unexpected`].
+    pub fn stream_neuro(
+        &mut self,
+        chip: ChipId,
+        frames: u32,
+        chunk_frames: u32,
+        t0: Seconds,
+        culture: &CultureSpec,
+    ) -> Result<NeuroStream, ClientError> {
+        write_message(
+            &mut self.stream,
+            &Message::StartNeuroStream {
+                chip,
+                frames,
+                chunk_frames,
+                t0_s: t0.value(),
+                culture: culture.clone(),
+            },
+        )?;
+        let mut result = NeuroStream {
+            rows: 0,
+            cols: 0,
+            frames: Vec::new(),
+            frames_sent: 0,
+            frames_dropped: 0,
+            chunks: 0,
+        };
+        loop {
+            match self.read_reply()? {
+                Message::StreamData {
+                    payload:
+                        StreamPayload::NeuroFrames {
+                            rows,
+                            cols,
+                            samples,
+                            ..
+                        },
+                    ..
+                } => {
+                    let frame_len = usize::from(rows) * usize::from(cols);
+                    if frame_len == 0 || samples.len() % frame_len != 0 {
+                        return Err(ClientError::Unexpected {
+                            expected: "chunk of whole frames",
+                            got: format!("{} samples for {rows}x{cols}", samples.len()),
+                        });
+                    }
+                    result.rows = rows;
+                    result.cols = cols;
+                    result.chunks += 1;
+                    for frame in samples.chunks(frame_len) {
+                        result.frames.push(frame.to_vec());
+                    }
+                }
+                Message::StreamEnd {
+                    frames_sent,
+                    frames_dropped,
+                    ..
+                } => {
+                    result.frames_sent = frames_sent;
+                    result.frames_dropped = frames_dropped;
+                    return Ok(result);
+                }
+                other => return Err(unexpected("StreamData/StreamEnd", &other)),
+            }
+        }
+    }
+
+    /// Fetches station-wide counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.roundtrip(&Message::QueryStats)? {
+            Message::StatsReport(stats) => Ok(stats),
+            other => Err(unexpected("StatsReport", &other)),
+        }
+    }
+}
+
+fn unexpected(expected: &'static str, got: &Message) -> ClientError {
+    ClientError::Unexpected {
+        expected,
+        got: format!("{got:?}"),
+    }
+}

@@ -1,0 +1,185 @@
+//! The TCP station: accept loop, session spawning, lifecycle.
+//!
+//! Thread-per-connection over `std::net`: the accept loop hands every
+//! connection to a session thread ([`crate::session`]), which itself
+//! splits into a reader (request execution) and a writer (bounded
+//! outbound queue). Wall-clock time is allowed here — session read
+//! timeouts are real timeouts — but never inside the chip crates, whose
+//! outputs must stay bit-reproducible (the determinism boundary
+//! documented in DESIGN.md §10).
+
+use crate::session::{run_session, SessionLimits};
+use crate::stats::StationStats;
+use bsa_link::{write_message, ErrorCode, Message, StatsSnapshot};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Station tuning knobs.
+#[derive(Debug, Clone)]
+pub struct StationConfig {
+    /// Listen address. Use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Outbound queue capacity per session, in messages. Backpressure
+    /// drops stream chunks beyond this depth.
+    pub queue_depth: usize,
+    /// Idle-session read timeout; `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Maximum concurrent sessions; further connections are refused with
+    /// an `Overloaded` error reply.
+    pub max_sessions: u64,
+}
+
+impl Default for StationConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            queue_depth: 64,
+            read_timeout: Some(Duration::from_secs(30)),
+            max_sessions: 64,
+        }
+    }
+}
+
+/// The running station. Binds with [`Station::bind`].
+#[derive(Debug)]
+pub struct Station;
+
+impl Station {
+    /// Binds the listener and starts the accept loop on a background
+    /// thread. Returns once the socket is listening, so `handle.addr()`
+    /// is immediately connectable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (`EADDRINUSE`, permission, …).
+    pub fn bind(config: StationConfig) -> io::Result<StationHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(StationStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let limits = SessionLimits {
+            queue_depth: config.queue_depth,
+            read_timeout: config.read_timeout,
+        };
+        let accept_stats = Arc::clone(&stats);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let max_sessions = config.max_sessions;
+        let accept = thread::spawn(move || {
+            accept_loop(
+                &listener,
+                &accept_stats,
+                &accept_shutdown,
+                &limits,
+                max_sessions,
+            );
+        });
+        Ok(StationHandle {
+            addr,
+            stats,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stats: &Arc<StationStats>,
+    shutdown: &Arc<AtomicBool>,
+    limits: &SessionLimits,
+    max_sessions: u64,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let active = stats.sessions_active.load(Ordering::Relaxed);
+        if active >= max_sessions {
+            refuse(stream);
+            continue;
+        }
+        StationStats::add(&stats.sessions_opened, 1);
+        StationStats::add(&stats.sessions_active, 1);
+        let session_stats = Arc::clone(stats);
+        let session_limits = limits.clone();
+        // Detached: the session ends when its client disconnects or
+        // times out; shutdown closes the listener, not live sessions.
+        thread::spawn(move || {
+            run_session(stream, Arc::clone(&session_stats), &session_limits);
+            StationStats::sub(&session_stats.sessions_active, 1);
+        });
+    }
+}
+
+/// Tells an over-capacity client why it is being dropped (best-effort).
+fn refuse(mut stream: TcpStream) {
+    let _ = write_message(
+        &mut stream,
+        &Message::ErrorReply {
+            code: ErrorCode::Overloaded,
+            message: "station at max sessions".into(),
+        },
+    );
+}
+
+/// Owner handle for a running station. Dropping it shuts the accept
+/// loop down (live sessions run until their clients disconnect).
+#[derive(Debug)]
+pub struct StationHandle {
+    addr: SocketAddr,
+    stats: Arc<StationStats>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl StationHandle {
+    /// The bound listen address (with the OS-assigned port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the station-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Blocks the calling thread until the accept loop exits (i.e. until
+    /// another thread drops/shuts the handle — the server bin parks
+    /// here forever).
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in accept(); poke it awake with a
+        // throwaway connection so it observes the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for StationHandle {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}

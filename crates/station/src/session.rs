@@ -1,0 +1,594 @@
+//! One client session: a reader thread that owns the session's chips and
+//! executes requests sequentially, plus a writer thread draining a
+//! bounded outbound queue.
+//!
+//! # Backpressure policy
+//!
+//! The outbound queue is a `sync_channel` with a fixed capacity. Control
+//! responses (acks, results, stream-end markers) use a *blocking* send —
+//! they are few and must not be lost; if the writer died because the
+//! socket broke, the send fails and the session ends. Stream data chunks
+//! use `try_send`: when a slow consumer fills the queue the chunk is
+//! dropped on the spot and counted, so the server never buffers without
+//! bound and the consumer learns exactly how many frames it lost from
+//! `StreamEnd { frames_dropped, .. }`.
+
+use crate::registry::{
+    culture_from_spec, dna_config_from_spec, injection_plan_from_spec, neuro_config_from_spec,
+    yield_summary, Chip, Registry, MAX_PIXELS,
+};
+use crate::stats::StationStats;
+use bsa_core::dna_chip::{DnaChip, SampleMix};
+use bsa_core::health::PixelHealth;
+use bsa_core::neuro_chip::NeuroChip;
+use bsa_electrochem::sequence::DnaSequence;
+use bsa_link::{
+    read_message, write_message, ChipId, ChipKind, ErrorCode, Message, PixelCount, ProtocolError,
+    StreamPayload, PROTOCOL_VERSION,
+};
+use bsa_units::{Molar, Seconds};
+use std::net::TcpStream;
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Hard cap on frames per neuro stream request (about 100 MiB of payload
+/// at 128×128), so one request cannot pin the server indefinitely.
+pub(crate) const MAX_STREAM_FRAMES: u32 = 4096;
+
+/// Default frames per `StreamData` chunk when the client passes 0.
+pub(crate) const DEFAULT_CHUNK_FRAMES: u32 = 8;
+
+/// DNA count readings per streamed chunk.
+const DNA_CHUNK_READINGS: usize = 64;
+
+/// The receiving side of the session is gone (socket closed or writer
+/// dead); the session should wind down.
+#[derive(Debug)]
+pub(crate) struct Gone;
+
+/// Outcome of offering a stream chunk to the queue.
+enum Offer {
+    Sent,
+    Dropped,
+}
+
+/// The session's handle on its outbound queue.
+struct Outbound {
+    tx: SyncSender<Message>,
+    stats: Arc<StationStats>,
+}
+
+impl Outbound {
+    /// Blocking send for control responses. Fails only when the writer
+    /// thread has exited (socket gone).
+    fn send_control(&self, msg: Message) -> Result<(), Gone> {
+        self.stats.queue_enter();
+        match self.tx.send(msg) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                self.stats.queue_exit();
+                Err(Gone)
+            }
+        }
+    }
+
+    /// Non-blocking send for stream data. A full queue drops the chunk
+    /// (the caller accounts for it); a disconnected queue ends the
+    /// session.
+    fn offer_stream(&self, msg: Message) -> Result<Offer, Gone> {
+        self.stats.queue_enter();
+        match self.tx.try_send(msg) {
+            Ok(()) => {
+                StationStats::add(&self.stats.chunks_sent, 1);
+                Ok(Offer::Sent)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats.queue_exit();
+                Ok(Offer::Dropped)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.stats.queue_exit();
+                Err(Gone)
+            }
+        }
+    }
+}
+
+/// Tuning knobs handed down from `StationConfig`.
+#[derive(Debug, Clone)]
+pub(crate) struct SessionLimits {
+    pub(crate) queue_depth: usize,
+    pub(crate) read_timeout: Option<Duration>,
+}
+
+/// Runs one session to completion on the current thread. Spawns the
+/// writer thread internally and joins it before returning.
+pub(crate) fn run_session(stream: TcpStream, stats: Arc<StationStats>, limits: &SessionLimits) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(limits.read_timeout);
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = sync_channel::<Message>(limits.queue_depth.max(1));
+    let writer_stats = Arc::clone(&stats);
+    let writer = thread::spawn(move || {
+        let mut stream = writer_stream;
+        for msg in rx {
+            writer_stats.queue_exit();
+            match write_message(&mut stream, &msg) {
+                Ok(n) => StationStats::add(&writer_stats.bytes_sent, n as u64),
+                Err(_) => break,
+            }
+        }
+        // Drain without writing so blocked senders unblock promptly even
+        // though the socket is gone; dropping the receiver then fails
+        // all later sends.
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    });
+
+    let mut session = Session {
+        registry: Registry::default(),
+        out: Outbound {
+            tx,
+            stats: Arc::clone(&stats),
+        },
+        stats: Arc::clone(&stats),
+    };
+
+    let mut reader = stream;
+    loop {
+        match read_message(&mut reader) {
+            Ok(msg) => {
+                StationStats::add(&stats.requests, 1);
+                if session.handle(msg).is_err() {
+                    break;
+                }
+            }
+            Err(ProtocolError::Io(_)) => break, // EOF, reset or timeout
+            Err(err) => {
+                // Corrupt frame: tell the client (best-effort) and close —
+                // framing sync cannot be trusted after a bad header.
+                let _ = session.out.send_control(Message::ErrorReply {
+                    code: ErrorCode::BadRequest,
+                    message: format!("protocol error: {err}"),
+                });
+                break;
+            }
+        }
+    }
+    drop(session); // drops the sender; the writer drains and exits
+    let _ = writer.join();
+}
+
+struct Session {
+    registry: Registry,
+    out: Outbound,
+    stats: Arc<StationStats>,
+}
+
+impl Session {
+    /// Handles one request. `Err(Gone)` means the connection is dead.
+    fn handle(&mut self, msg: Message) -> Result<(), Gone> {
+        match msg {
+            Message::Hello { .. } => self.out.send_control(Message::HelloAck {
+                server: format!("bsa-station/{}", env!("CARGO_PKG_VERSION")),
+                version: PROTOCOL_VERSION,
+            }),
+            Message::Ping { token } => self.out.send_control(Message::Pong { token }),
+            Message::AttachDna(spec) => {
+                let reply = self.attach_dna(&spec);
+                self.out.send_control(reply)
+            }
+            Message::AttachNeuro(spec) => {
+                let reply = self.attach_neuro(&spec);
+                self.out.send_control(reply)
+            }
+            Message::Detach { chip } => {
+                let reply = if self.registry.detach(chip) {
+                    Message::Detached { chip }
+                } else {
+                    error_reply(ErrorCode::UnknownChip, format!("no chip {chip}"))
+                };
+                self.out.send_control(reply)
+            }
+            Message::ConfigureAssay {
+                chip,
+                probes,
+                targets,
+            } => {
+                let reply = self.configure_assay(chip, &probes, &targets);
+                self.out.send_control(reply)
+            }
+            Message::Calibrate { chip } => {
+                let reply = self.calibrate(chip);
+                self.out.send_control(reply)
+            }
+            Message::InjectFaults { chip, plan } => {
+                let reply = self.inject_faults(chip, &plan);
+                self.out.send_control(reply)
+            }
+            Message::QueryHealth { chip } => {
+                let reply = self.query_health(chip);
+                self.out.send_control(reply)
+            }
+            Message::RunAssay {
+                chip,
+                stream_counts,
+            } => self.run_assay(chip, stream_counts),
+            Message::StartNeuroStream {
+                chip,
+                frames,
+                chunk_frames,
+                t0_s,
+                culture,
+            } => self.neuro_stream(chip, frames, chunk_frames, t0_s, &culture),
+            Message::QueryStats => self
+                .out
+                .send_control(Message::StatsReport(self.stats.snapshot())),
+            // Server-to-client messages arriving at the server are a
+            // client bug, not a transport failure: answer and carry on.
+            other => self.out.send_control(error_reply(
+                ErrorCode::BadRequest,
+                format!("unexpected message at server: {other:?}"),
+            )),
+        }
+    }
+
+    fn attach_dna(&mut self, spec: &bsa_link::DnaChipSpec) -> Message {
+        let config = match dna_config_from_spec(spec) {
+            Ok(c) => c,
+            Err(err) => return error_reply(ErrorCode::BadRequest, err.to_string()),
+        };
+        if config.geometry.len() > MAX_PIXELS {
+            return error_reply(ErrorCode::BadRequest, "array too large".into());
+        }
+        let rows = config.geometry.rows();
+        let cols = config.geometry.cols();
+        match DnaChip::new(config) {
+            Ok(chip) => {
+                let id = self.registry.attach(Chip::Dna {
+                    chip: Box::new(chip),
+                    sample: SampleMix::new(),
+                });
+                StationStats::add(&self.stats.chips_attached, 1);
+                Message::Attached {
+                    chip: id,
+                    kind: ChipKind::Dna,
+                    rows: rows as u16,
+                    cols: cols as u16,
+                }
+            }
+            Err(err) => error_reply(ErrorCode::ChipError, err.to_string()),
+        }
+    }
+
+    fn attach_neuro(&mut self, spec: &bsa_link::NeuroChipSpec) -> Message {
+        let config = match neuro_config_from_spec(spec) {
+            Ok(c) => c,
+            Err(err) => return error_reply(ErrorCode::BadRequest, err.to_string()),
+        };
+        if config.geometry.len() > MAX_PIXELS {
+            return error_reply(ErrorCode::BadRequest, "array too large".into());
+        }
+        let rows = config.geometry.rows();
+        let cols = config.geometry.cols();
+        match NeuroChip::new(config) {
+            Ok(chip) => {
+                let id = self.registry.attach(Chip::Neuro(Box::new(chip)));
+                StationStats::add(&self.stats.chips_attached, 1);
+                Message::Attached {
+                    chip: id,
+                    kind: ChipKind::Neuro,
+                    rows: rows as u16,
+                    cols: cols as u16,
+                }
+            }
+            Err(err) => error_reply(ErrorCode::ChipError, err.to_string()),
+        }
+    }
+
+    fn configure_assay(
+        &mut self,
+        id: ChipId,
+        probes: &[String],
+        targets: &[bsa_link::TargetSpec],
+    ) -> Message {
+        let mut parsed = Vec::with_capacity(probes.len());
+        for probe in probes {
+            match probe.parse::<DnaSequence>() {
+                Ok(seq) => parsed.push(seq),
+                Err(err) => {
+                    return error_reply(ErrorCode::BadRequest, format!("probe {probe:?}: {err}"))
+                }
+            }
+        }
+        let mut sample = SampleMix::new();
+        for target in targets {
+            let seq = match target.sequence.parse::<DnaSequence>() {
+                Ok(seq) => seq,
+                Err(err) => {
+                    return error_reply(
+                        ErrorCode::BadRequest,
+                        format!("target {:?}: {err}", target.sequence),
+                    )
+                }
+            };
+            if !target.concentration_molar.is_finite() || target.concentration_molar < 0.0 {
+                return error_reply(ErrorCode::BadRequest, "bad concentration".into());
+            }
+            sample = sample.with_target(seq, Molar::new(target.concentration_molar));
+        }
+        match self.registry.get_mut(id) {
+            Some(Chip::Dna { chip, sample: slot }) => {
+                chip.spot_all(&parsed);
+                *slot = sample;
+                Message::Ack
+            }
+            Some(Chip::Neuro(_)) => {
+                error_reply(ErrorCode::WrongChipKind, "assays run on DNA chips".into())
+            }
+            None => error_reply(ErrorCode::UnknownChip, format!("no chip {id}")),
+        }
+    }
+
+    fn calibrate(&mut self, id: ChipId) -> Message {
+        match self.registry.get_mut(id) {
+            Some(Chip::Dna { chip, .. }) => {
+                let _ = chip.auto_calibrate();
+                let health = chip.health();
+                Message::CalibrationDone {
+                    chip: id,
+                    healthy: health.count(PixelHealth::Healthy) as u32,
+                    out_of_family: health.count(PixelHealth::OutOfFamily) as u32,
+                    dead: health.count(PixelHealth::Dead) as u32,
+                }
+            }
+            Some(Chip::Neuro(chip)) => {
+                chip.calibrate(Seconds::new(0.0));
+                let health = chip.health();
+                Message::CalibrationDone {
+                    chip: id,
+                    healthy: health.count(PixelHealth::Healthy) as u32,
+                    out_of_family: health.count(PixelHealth::OutOfFamily) as u32,
+                    dead: health.count(PixelHealth::Dead) as u32,
+                }
+            }
+            None => error_reply(ErrorCode::UnknownChip, format!("no chip {id}")),
+        }
+    }
+
+    fn inject_faults(&mut self, id: ChipId, plan: &bsa_link::FaultPlanSpec) -> Message {
+        let plan = injection_plan_from_spec(plan);
+        match self.registry.get_mut(id) {
+            Some(Chip::Dna { chip, .. }) => {
+                let g = chip.geometry();
+                match chip.inject_faults(&plan.compile(g.rows(), g.cols())) {
+                    Ok(()) => Message::Ack,
+                    Err(err) => error_reply(ErrorCode::ChipError, err.to_string()),
+                }
+            }
+            Some(Chip::Neuro(chip)) => {
+                let g = chip.config().geometry;
+                match chip.inject_faults(&plan.compile(g.rows(), g.cols())) {
+                    Ok(()) => Message::Ack,
+                    Err(err) => error_reply(ErrorCode::ChipError, err.to_string()),
+                }
+            }
+            None => error_reply(ErrorCode::UnknownChip, format!("no chip {id}")),
+        }
+    }
+
+    fn query_health(&mut self, id: ChipId) -> Message {
+        match self.registry.get_mut(id) {
+            Some(Chip::Dna { chip, .. }) => Message::HealthReport {
+                chip: id,
+                report: yield_summary(&chip.yield_report()),
+            },
+            Some(Chip::Neuro(chip)) => Message::HealthReport {
+                chip: id,
+                report: yield_summary(&chip.yield_report()),
+            },
+            None => error_reply(ErrorCode::UnknownChip, format!("no chip {id}")),
+        }
+    }
+
+    fn run_assay(&mut self, id: ChipId, stream_counts: bool) -> Result<(), Gone> {
+        let readout = match self.registry.get_mut(id) {
+            Some(Chip::Dna { chip, sample }) => chip.run_assay(sample),
+            Some(Chip::Neuro(_)) => {
+                return self.out.send_control(error_reply(
+                    ErrorCode::WrongChipKind,
+                    "assays run on DNA chips".into(),
+                ))
+            }
+            None => {
+                return self
+                    .out
+                    .send_control(error_reply(ErrorCode::UnknownChip, format!("no chip {id}")))
+            }
+        };
+        if stream_counts {
+            let readings: Vec<PixelCount> = readout
+                .to_readings()
+                .iter()
+                .map(|r| PixelCount {
+                    row: r.address.row as u16,
+                    col: r.address.col as u16,
+                    count: r.count,
+                })
+                .collect();
+            let mut sent: u32 = 0;
+            let mut dropped: u32 = 0;
+            for (seq, chunk) in readings.chunks(DNA_CHUNK_READINGS).enumerate() {
+                let n = chunk.len() as u32;
+                let msg = Message::StreamData {
+                    chip: id,
+                    seq: seq as u32,
+                    payload: StreamPayload::DnaCounts {
+                        readings: chunk.to_vec(),
+                    },
+                };
+                match self.out.offer_stream(msg)? {
+                    Offer::Sent => sent += n,
+                    Offer::Dropped => dropped += n,
+                }
+            }
+            StationStats::add(&self.stats.frames_served, u64::from(sent));
+            StationStats::add(&self.stats.frames_dropped, u64::from(dropped));
+            self.out.send_control(Message::StreamEnd {
+                chip: id,
+                frames_sent: sent,
+                frames_dropped: dropped,
+            })?;
+        }
+        self.out.send_control(Message::AssayResult {
+            chip: id,
+            counts: readout.counts.clone(),
+            estimated_currents_a: readout
+                .estimated_currents
+                .iter()
+                .map(|i| i.value())
+                .collect(),
+        })
+    }
+
+    fn neuro_stream(
+        &mut self,
+        id: ChipId,
+        frames: u32,
+        chunk_frames: u32,
+        t0_s: f64,
+        culture_spec: &bsa_link::CultureSpec,
+    ) -> Result<(), Gone> {
+        if frames == 0 || frames > MAX_STREAM_FRAMES {
+            return self.out.send_control(error_reply(
+                ErrorCode::BadRequest,
+                format!("frames must be 1..={MAX_STREAM_FRAMES}"),
+            ));
+        }
+        let t0 = if t0_s.is_finite() { t0_s } else { 0.0 };
+        let chunk = if chunk_frames == 0 {
+            DEFAULT_CHUNK_FRAMES as usize
+        } else {
+            chunk_frames as usize
+        };
+        let chip = match self.registry.get_mut(id) {
+            Some(Chip::Neuro(chip)) => chip,
+            Some(Chip::Dna { .. }) => {
+                return self.out.send_control(error_reply(
+                    ErrorCode::WrongChipKind,
+                    "streams run on neuro chips".into(),
+                ))
+            }
+            None => {
+                return self
+                    .out
+                    .send_control(error_reply(ErrorCode::UnknownChip, format!("no chip {id}")))
+            }
+        };
+        let g = chip.config().geometry;
+        let (rows, cols) = (g.rows() as u16, g.cols() as u16);
+        let culture = culture_from_spec(culture_spec);
+        // One record() call for the whole stream: the chip re-seeds its
+        // deterministic RNG streams at the start of every record(), so
+        // chunking must happen on the transmit side — N smaller record()
+        // calls would NOT reproduce an in-process record(frames) run.
+        let recording = chip.record(&culture, Seconds::new(t0), frames as usize);
+        let mut sent: u32 = 0;
+        let mut dropped: u32 = 0;
+        let mut outcome = Ok(());
+        for (seq, chunk_frames) in recording.frames().chunks(chunk).enumerate() {
+            let n = chunk_frames.len() as u32;
+            let mut samples = Vec::with_capacity(chunk_frames.len() * g.len());
+            for frame in chunk_frames {
+                samples.extend_from_slice(frame.samples());
+            }
+            let msg = Message::StreamData {
+                chip: id,
+                seq: seq as u32,
+                payload: StreamPayload::NeuroFrames {
+                    first_frame: sent + dropped,
+                    rows,
+                    cols,
+                    samples,
+                },
+            };
+            match self.out.offer_stream(msg) {
+                Ok(Offer::Sent) => sent += n,
+                Ok(Offer::Dropped) => dropped += n,
+                Err(Gone) => {
+                    outcome = Err(Gone);
+                    break;
+                }
+            }
+        }
+        // Return the buffers to the chip's arena whatever happened.
+        if let Some(Chip::Neuro(chip)) = self.registry.get_mut(id) {
+            chip.recycle(recording);
+        }
+        StationStats::add(&self.stats.frames_served, u64::from(sent));
+        StationStats::add(&self.stats.frames_dropped, u64::from(dropped));
+        outcome?;
+        self.out.send_control(Message::StreamEnd {
+            chip: id,
+            frames_sent: sent,
+            frames_dropped: dropped,
+        })
+    }
+}
+
+fn error_reply(code: ErrorCode, message: String) -> Message {
+    Message::ErrorReply { code, message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    /// Deterministic backpressure accounting at the queue level, no TCP:
+    /// with a capacity-2 queue and no consumer, the first two chunks are
+    /// accepted and every further offer is dropped — and the drop is
+    /// visible in the stats.
+    #[test]
+    fn full_queue_drops_are_counted_not_buffered() {
+        let stats = Arc::new(StationStats::default());
+        let (tx, _rx) = sync_channel::<Message>(2);
+        let out = Outbound {
+            tx,
+            stats: Arc::clone(&stats),
+        };
+        let mut sent = 0;
+        let mut dropped = 0;
+        for _ in 0..10 {
+            match out.offer_stream(Message::Ack).unwrap() {
+                Offer::Sent => sent += 1,
+                Offer::Dropped => dropped += 1,
+            }
+        }
+        assert_eq!(sent, 2);
+        assert_eq!(dropped, 8);
+        let snap = stats.snapshot();
+        assert_eq!(snap.chunks_sent, 2);
+        assert_eq!(snap.queue_peak, 3); // two enqueued + one in-flight attempt
+    }
+
+    /// A disconnected queue (writer thread gone) surfaces as `Gone` for
+    /// both send flavors instead of blocking or panicking.
+    #[test]
+    fn disconnected_queue_reports_gone() {
+        let stats = Arc::new(StationStats::default());
+        let (tx, rx) = sync_channel::<Message>(1);
+        drop(rx);
+        let out = Outbound {
+            tx,
+            stats: Arc::clone(&stats),
+        };
+        assert!(out.send_control(Message::Ack).is_err());
+        assert!(out.offer_stream(Message::Ack).is_err());
+        assert_eq!(stats.queue_depth.load(Ordering::Relaxed), 0);
+    }
+}

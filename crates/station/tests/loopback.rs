@@ -1,0 +1,305 @@
+//! End-to-end loopback tests: real TCP sockets against an in-process
+//! station.
+//!
+//! The headline property is determinism across the wire — a neuro stream
+//! served over TCP is *bit-identical* (`f64::to_bits`) to an in-process
+//! `record()` call built from the same wire specs, because the station
+//! constructs chips through the very same `registry` conversion functions
+//! these tests use for the reference.
+
+#![allow(clippy::unwrap_used)] // tests/benches unwrap idiomatically
+
+use bsa_core::neuro_chip::NeuroChip;
+use bsa_link::{
+    read_message, write_message, CultureSpec, DnaChipSpec, FaultEntrySpec, FaultKindSpec,
+    FaultPlanSpec, FaultTargetSpec, Message, NeuroChipSpec, TargetSpec,
+};
+use bsa_station::{
+    culture_from_spec, neuro_config_from_spec, Station, StationClient, StationConfig,
+};
+use bsa_units::Seconds;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start_station() -> bsa_station::StationHandle {
+    Station::bind(StationConfig::default()).expect("bind loopback station")
+}
+
+const NEURO_SEED: u64 = 0x0EE5_1281;
+const CULTURE_SEED: u64 = 77;
+
+fn neuro_spec(rows: u16, cols: u16) -> NeuroChipSpec {
+    NeuroChipSpec {
+        rows,
+        cols,
+        channels: 16,
+        seed: NEURO_SEED,
+        frame_rate_hz: 0.0,
+    }
+}
+
+fn culture_spec(frames: u32) -> CultureSpec {
+    CultureSpec {
+        seed: CULTURE_SEED,
+        neuron_count: 24,
+        // Long enough that spikes cover the whole recording window.
+        spike_duration_s: f64::from(frames) / 1000.0,
+    }
+}
+
+/// Records the reference frames in-process, through the same spec
+/// conversions the server uses.
+fn reference_frames(spec: &NeuroChipSpec, culture: &CultureSpec, frames: usize) -> Vec<Vec<f64>> {
+    let config = neuro_config_from_spec(spec).unwrap();
+    let mut chip = NeuroChip::new(config).unwrap();
+    let culture = culture_from_spec(culture);
+    let recording = chip.record(&culture, Seconds::new(0.0), frames);
+    recording
+        .frames()
+        .iter()
+        .map(|f| f.samples().to_vec())
+        .collect()
+}
+
+/// The acceptance-criteria test: a full 128x128 chip streams >= 100
+/// frames over TCP, and every sample is bit-identical to the in-process
+/// recording.
+#[test]
+fn streamed_frames_bit_identical_to_direct_record() {
+    let station = start_station();
+    let spec = neuro_spec(128, 128);
+    let culture = culture_spec(112);
+
+    let mut client = StationClient::connect(station.addr(), "bit-identical").unwrap();
+    let attached = client.attach_neuro(&spec).unwrap();
+    assert_eq!((attached.rows, attached.cols), (128, 128));
+
+    let stream = client
+        .stream_neuro(attached.chip, 112, 8, Seconds::new(0.0), &culture)
+        .unwrap();
+    assert!(
+        stream.frames.len() >= 100,
+        "only {} frames arrived",
+        stream.frames.len()
+    );
+    assert_eq!(
+        u32::try_from(stream.frames.len()).unwrap(),
+        stream.frames_sent
+    );
+    assert_eq!(stream.frames_sent + stream.frames_dropped, 112);
+    // Local client drains the loopback socket fast enough that nothing
+    // should be dropped; if this ever flakes the bit-identity check below
+    // still covers whatever arrived.
+    assert_eq!(stream.frames_dropped, 0, "loopback client fell behind");
+
+    let reference = reference_frames(&spec, &culture_spec(112), 112);
+    assert_eq!(stream.frames.len(), reference.len());
+    for (i, (got, want)) in stream.frames.iter().zip(&reference).enumerate() {
+        assert_eq!(got.len(), want.len(), "frame {i} sample count");
+        for (j, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "frame {i} sample {j}: {g} != {w}");
+        }
+    }
+}
+
+/// Two clients work the station concurrently — one runs a DNA assay with
+/// streamed counts, the other streams neuro frames — and both see
+/// correct, isolated results.
+#[test]
+fn two_concurrent_clients_dna_and_neuro() {
+    let station = start_station();
+    let addr = station.addr();
+
+    let neuro_thread = std::thread::spawn(move || {
+        let spec = neuro_spec(32, 32);
+        let culture = culture_spec(64);
+        let mut client = StationClient::connect(addr, "neuro-client").unwrap();
+        let attached = client.attach_neuro(&spec).unwrap();
+        let stream = client
+            .stream_neuro(attached.chip, 64, 4, Seconds::new(0.0), &culture)
+            .unwrap();
+        assert_eq!(stream.frames_sent + stream.frames_dropped, 64);
+        let reference = reference_frames(&spec, &culture_spec(64), 64);
+        for (got, want) in stream.frames.iter().zip(&reference) {
+            let same = got
+                .iter()
+                .zip(want)
+                .all(|(g, w)| g.to_bits() == w.to_bits());
+            assert!(same, "neuro frames diverged under concurrent load");
+        }
+        stream.frames.len()
+    });
+
+    let dna_thread = std::thread::spawn(move || {
+        let mut client = StationClient::connect(addr, "dna-client").unwrap();
+        let attached = client
+            .attach_dna(&DnaChipSpec {
+                rows: 0,
+                cols: 0,
+                seed: 42,
+                frame_time_s: 0.0,
+            })
+            .unwrap();
+        assert_eq!((attached.rows, attached.cols), (8, 16));
+        let cal = client.calibrate(attached.chip).unwrap();
+        assert!(cal.healthy > 0);
+        let probe = "ACGTACGTACGT".to_string();
+        client
+            .configure_assay(
+                attached.chip,
+                vec![probe.clone()],
+                vec![TargetSpec {
+                    sequence: probe,
+                    concentration_molar: 1e-9,
+                }],
+            )
+            .unwrap();
+        let outcome = client.run_assay(attached.chip, true).unwrap();
+        assert_eq!(outcome.counts.len(), 8 * 16);
+        assert_eq!(outcome.estimated_currents_a.len(), 8 * 16);
+        // Streamed per-pixel counts must agree with the final result.
+        let (sent, dropped) = outcome.stream_accounting.unwrap();
+        assert_eq!(usize::try_from(sent).unwrap(), outcome.streamed.len());
+        assert_eq!(dropped, 0);
+        for reading in &outcome.streamed {
+            let idx = usize::from(reading.row) * 16 + usize::from(reading.col);
+            assert_eq!(outcome.counts.get(idx).copied(), Some(reading.count));
+        }
+        outcome.counts.iter().sum::<u64>()
+    });
+
+    let neuro_frames = neuro_thread.join().expect("neuro client panicked");
+    let total_counts = dna_thread.join().expect("dna client panicked");
+    assert!(neuro_frames > 0);
+    assert!(
+        total_counts > 0,
+        "a matched 1 nM target must produce counts"
+    );
+
+    let stats = station.stats();
+    assert!(stats.sessions_opened >= 2);
+    assert_eq!(stats.chips_attached, 2);
+    assert!(stats.frames_served > 0);
+}
+
+/// Killing a client mid-stream must not take the station down: the
+/// surviving session keeps getting served.
+#[test]
+fn killing_one_client_leaves_the_other_served() {
+    let station = start_station();
+    let addr = station.addr();
+
+    // Victim speaks raw protocol so we can drop the socket mid-stream.
+    let mut victim = TcpStream::connect(addr).unwrap();
+    victim
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_message(
+        &mut victim,
+        &Message::Hello {
+            client: "victim".into(),
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        read_message(&mut victim).unwrap(),
+        Message::HelloAck { .. }
+    ));
+    write_message(&mut victim, &Message::AttachNeuro(neuro_spec(32, 32))).unwrap();
+    let chip = match read_message(&mut victim).unwrap() {
+        Message::Attached { chip, .. } => chip,
+        other => panic!("expected Attached, got {other:?}"),
+    };
+    write_message(
+        &mut victim,
+        &Message::StartNeuroStream {
+            chip,
+            frames: 256,
+            chunk_frames: 1,
+            t0_s: 0.0,
+            culture: culture_spec(256),
+        },
+    )
+    .unwrap();
+    // Take exactly one chunk, then vanish without a goodbye.
+    assert!(matches!(
+        read_message(&mut victim).unwrap(),
+        Message::StreamData { .. }
+    ));
+    drop(victim);
+
+    // The survivor connects afterwards and must get full service.
+    let mut survivor = StationClient::connect(addr, "survivor").unwrap();
+    let attached = survivor.attach_neuro(&neuro_spec(16, 16)).unwrap();
+    let stream = survivor
+        .stream_neuro(attached.chip, 32, 4, Seconds::new(0.0), &culture_spec(32))
+        .unwrap();
+    assert_eq!(stream.frames_sent + stream.frames_dropped, 32);
+    assert!(!stream.frames.is_empty());
+    survivor.ping(0xDEAD_BEEF).unwrap();
+}
+
+/// Fault injection round-trips over the wire: a dead pixel and a lost
+/// channel show up in the health report.
+#[test]
+fn fault_injection_over_the_wire() {
+    let station = start_station();
+    let mut client = StationClient::connect(station.addr(), "faults").unwrap();
+    let attached = client.attach_neuro(&neuro_spec(16, 16)).unwrap();
+    client
+        .inject_faults(
+            attached.chip,
+            FaultPlanSpec {
+                seed: 3,
+                entries: vec![
+                    FaultEntrySpec {
+                        target: FaultTargetSpec::Pixel { row: 2, col: 3 },
+                        kind: FaultKindSpec::DeadPixel,
+                    },
+                    FaultEntrySpec {
+                        target: FaultTargetSpec::Global,
+                        kind: FaultKindSpec::ChannelLoss { channel: 1 },
+                    },
+                ],
+            },
+        )
+        .unwrap();
+    let health = client.health(attached.chip).unwrap();
+    assert_eq!(health.total_pixels, 256);
+    assert_eq!(health.lost_channels, vec![1]);
+    assert!(health.injected >= 1);
+}
+
+/// Wire-level errors come back as typed `ErrorReply`s, not dropped
+/// connections: unknown chip ids and malformed assay configs.
+#[test]
+fn server_replies_with_typed_errors() {
+    let station = start_station();
+    let mut client = StationClient::connect(station.addr(), "errors").unwrap();
+
+    let err = client.calibrate(99).unwrap_err();
+    assert!(
+        matches!(err, bsa_station::ClientError::Server { .. }),
+        "unknown chip must yield a server error, got {err:?}"
+    );
+
+    // The session survives the error.
+    client.ping(5).unwrap();
+
+    let attached = client.attach_neuro(&neuro_spec(16, 16)).unwrap();
+    let err = client
+        .stream_neuro(
+            attached.chip,
+            0, // zero frames is invalid
+            1,
+            Seconds::new(0.0),
+            &culture_spec(1),
+        )
+        .unwrap_err();
+    assert!(matches!(err, bsa_station::ClientError::Server { .. }));
+
+    // Detach then use-after-detach.
+    client.detach(attached.chip).unwrap();
+    let err = client.calibrate(attached.chip).unwrap_err();
+    assert!(matches!(err, bsa_station::ClientError::Server { .. }));
+}

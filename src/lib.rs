@@ -19,6 +19,9 @@
 //!   (`bsa-faults`).
 //! * [`screening`] — the Fig. 1 drug-screening pipeline model
 //!   (`bsa-screening`).
+//! * [`link`] — the versioned binary wire protocol (`bsa-link`).
+//! * [`station`] — the multi-chip TCP acquisition server and client
+//!   (`bsa-station`).
 
 #![forbid(unsafe_code)]
 
@@ -27,6 +30,8 @@ pub use bsa_core as chips;
 pub use bsa_dsp as dsp;
 pub use bsa_electrochem as electrochem;
 pub use bsa_faults as faults;
+pub use bsa_link as link;
 pub use bsa_neuro as neuro;
 pub use bsa_screening as screening;
+pub use bsa_station as station;
 pub use bsa_units as units;
