@@ -12,7 +12,8 @@ use rand::SeedableRng;
 
 fn bench_pixel_calibration(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(1);
-    let pixel = NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng);
+    let pixel =
+        NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng).expect("default config valid");
     c.bench_function("f6a_calibrate_one_pixel", |b| {
         b.iter(|| {
             let mut p = pixel.clone();
@@ -24,9 +25,11 @@ fn bench_pixel_calibration(c: &mut Criterion) {
 
 fn bench_pixel_read(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(2);
-    let mut calibrated = NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng);
+    let mut calibrated =
+        NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng).expect("default config valid");
     calibrated.calibrate(Seconds::ZERO);
-    let uncalibrated = NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng);
+    let uncalibrated =
+        NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng).expect("default config valid");
     c.bench_function("f6a_read_calibrated", |b| {
         b.iter(|| black_box(calibrated.read(black_box(Volt::from_micro(500.0)), Seconds::ZERO)));
     });
@@ -41,7 +44,10 @@ fn bench_array_calibration(c: &mut Criterion) {
     group.bench_function("calibrate_1024_pixels", |b| {
         let mut rng = SmallRng::seed_from_u64(3);
         let pixels: Vec<NeuroPixel> = (0..1024)
-            .map(|_| NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng))
+            .map(|_| {
+                NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng)
+                    .expect("default config valid")
+            })
             .collect();
         b.iter(|| {
             let mut ps = pixels.clone();

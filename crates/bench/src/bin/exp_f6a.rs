@@ -26,14 +26,15 @@ fn main() {
     let mut cal = RunningStats::new();
     let mut injected = RunningStats::new();
     for _ in 0..n {
-        let mut p = NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng);
+        let mut p = NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng)
+            .expect("default config valid");
         uncal.push(p.read(Volt::ZERO, Seconds::ZERO).value());
         p.calibrate(Seconds::ZERO);
         cal.push(p.read(Volt::ZERO, Seconds::ZERO).value());
         injected.push(p.read(Volt::ZERO, Seconds::ZERO).value());
     }
     // Signal scale: a calibrated pixel's response to 1 mV.
-    let mut probe = NeuroPixel::nominal(NeuroPixelConfig::default());
+    let mut probe = NeuroPixel::nominal(NeuroPixelConfig::default()).expect("default config valid");
     probe.calibrate(Seconds::ZERO);
     let signal_1mv = (probe.read(Volt::from_milli(1.0), Seconds::ZERO)
         - probe.read(Volt::ZERO, Seconds::ZERO))
@@ -74,7 +75,9 @@ fn main() {
         &["time since cal", "σ(ΔI)", "added drift (input-referred)"],
     );
     let mut pixels: Vec<NeuroPixel> = (0..512)
-        .map(|_| NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng))
+        .map(|_| {
+            NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng).expect("default config valid")
+        })
         .collect();
     for p in &mut pixels {
         p.calibrate(Seconds::ZERO);

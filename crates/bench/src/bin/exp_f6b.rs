@@ -49,7 +49,8 @@ fn main() {
     println!();
 
     // (b) End-to-end amplitude linearity over the paper's signal window.
-    let mut pixel = NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng);
+    let mut pixel =
+        NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng).expect("default config valid");
     pixel.calibrate(Seconds::ZERO);
     let mut chain = channels[0].clone();
     let mut quiet_cfg = chain.config().clone();

@@ -31,6 +31,12 @@ pub enum CircuitError {
         /// Human-readable parameter name.
         name: &'static str,
     },
+    /// A bias solve found no operating point in the search window (e.g.
+    /// the requested current exceeds what the device can conduct).
+    NoOperatingPoint {
+        /// What was being solved for, e.g. `"nominal gate bias"`.
+        name: &'static str,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -46,6 +52,9 @@ impl fmt::Display for CircuitError {
                 max,
             } => write!(f, "{name} = {value} outside allowed range [{min}, {max}]"),
             Self::NonFinite { name } => write!(f, "{name} must be finite"),
+            Self::NoOperatingPoint { name } => {
+                write!(f, "no operating point found for {name}")
+            }
         }
     }
 }

@@ -80,11 +80,14 @@ impl PelgromModel {
         (dvt, dbeta)
     }
 
-    /// Builds a mismatched instance of a device described by `params`.
-    pub fn instantiate<R: Rng>(&self, params: MosfetParams, rng: &mut R) -> Mosfet {
-        let area = params.gate_area_um2();
+    /// Builds a mismatched instance of an already-validated nominal
+    /// device. Taking `&Mosfet` (not raw params) keeps this infallible:
+    /// validation happened once at the nominal device's construction, so
+    /// sampling mismatch cannot panic mid-array.
+    pub fn instantiate<R: Rng>(&self, nominal: &Mosfet, rng: &mut R) -> Mosfet {
+        let area = nominal.params().gate_area_um2();
         let (dvt, dbeta) = self.sample(area, rng);
-        Mosfet::new(params).with_mismatch(dvt, dbeta)
+        nominal.clone().with_mismatch(dvt, dbeta)
     }
 }
 
@@ -161,8 +164,9 @@ mod tests {
     fn instantiate_produces_distinct_devices() {
         let m = PelgromModel::cmos05um();
         let mut rng = SmallRng::seed_from_u64(7);
-        let a = m.instantiate(MosfetParams::n05um(2.0, 1.0), &mut rng);
-        let b = m.instantiate(MosfetParams::n05um(2.0, 1.0), &mut rng);
+        let nominal = Mosfet::new(MosfetParams::n05um(2.0, 1.0));
+        let a = m.instantiate(&nominal, &mut rng);
+        let b = m.instantiate(&nominal, &mut rng);
         assert_ne!(a.delta_vth(), b.delta_vth());
     }
 

@@ -57,14 +57,19 @@ impl RegulationLoop {
 
     /// A regulator sized like the DNA pixel's: default op-amp, 20/1 µm
     /// follower, 500 pF electrode (the double layer dominates).
-    pub fn dna_pixel_default() -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] if a sub-block rejects the defaults
+    /// (cannot happen for the constants here, but fallible so no panic
+    /// hides behind a public constructor).
+    pub fn dna_pixel_default() -> Result<Self, CircuitError> {
         Self::new(
             OpAmpSpec::default(),
             MosfetParams::n05um(20.0, 1.0),
             Farad::from_pico(500.0),
             Volt::new(5.0),
         )
-        .expect("default parameters are valid")
     }
 
     /// Present electrode potential.
@@ -128,7 +133,7 @@ mod tests {
 
     #[test]
     fn holds_setpoint_at_mid_current() {
-        let mut looop = RegulationLoop::dna_pixel_default();
+        let mut looop = RegulationLoop::dna_pixel_default().expect("defaults valid");
         let (v, err) = looop.settle(Volt::new(1.0), Ampere::from_nano(1.0));
         assert!(
             err.abs().value() < 2e-3,
@@ -142,7 +147,7 @@ mod tests {
         // — the whole point of regulating rather than biasing openly.
         let mut worst = 0.0f64;
         for exp in [-12.0f64, -11.0, -10.0, -9.0, -8.0, -7.0] {
-            let mut looop = RegulationLoop::dna_pixel_default();
+            let mut looop = RegulationLoop::dna_pixel_default().expect("defaults valid");
             let i = Ampere::new(10f64.powf(exp));
             let (_, err) = looop.settle(Volt::new(1.0), i);
             worst = worst.max(err.abs().value());
@@ -152,7 +157,7 @@ mod tests {
 
     #[test]
     fn follower_supplies_the_sensor_current() {
-        let mut looop = RegulationLoop::dna_pixel_default();
+        let mut looop = RegulationLoop::dna_pixel_default().expect("defaults valid");
         let i_sensor = Ampere::from_nano(10.0);
         looop.settle(Volt::new(1.0), i_sensor);
         // One more step at steady state: delivered current ≈ sensor current.
@@ -163,7 +168,7 @@ mod tests {
 
     #[test]
     fn tracks_setpoint_changes() {
-        let mut looop = RegulationLoop::dna_pixel_default();
+        let mut looop = RegulationLoop::dna_pixel_default().expect("defaults valid");
         let (v1, _) = looop.settle(Volt::new(0.8), Ampere::from_nano(1.0));
         let (v2, _) = looop.settle(Volt::new(1.4), Ampere::from_nano(1.0));
         assert!((v1.value() - 0.8).abs() < 5e-3);
@@ -183,7 +188,7 @@ mod tests {
 
     #[test]
     fn electrode_stays_within_rails() {
-        let mut looop = RegulationLoop::dna_pixel_default();
+        let mut looop = RegulationLoop::dna_pixel_default().expect("defaults valid");
         // Absurd setpoint: the electrode saturates at the rail, not beyond.
         let (v, _) = looop.settle(Volt::new(10.0), Ampere::from_nano(1.0));
         assert!(v <= Volt::new(5.0));

@@ -259,7 +259,7 @@ impl NeuroChip {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let pixels: Vec<NeuroPixel> = (0..config.geometry.len())
             .map(|_| NeuroPixel::sample(config.pixel.clone(), &mut rng))
-            .collect();
+            .collect::<Result<_, _>>()?;
         let channels: Vec<ChannelChain> = (0..config.channels)
             .map(|_| ChannelChain::sample(config.chain.clone(), &mut rng))
             .collect();

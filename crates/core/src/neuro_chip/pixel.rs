@@ -12,6 +12,7 @@
 use bsa_circuit::mismatch::PelgromModel;
 use bsa_circuit::mosfet::{Mosfet, MosfetParams};
 use bsa_circuit::noise::GaussianSampler;
+use bsa_circuit::CircuitError;
 use bsa_faults::PixelFaults;
 use bsa_units::{Ampere, Farad, Seconds, Siemens, Volt};
 use rand::Rng;
@@ -91,8 +92,12 @@ pub struct NeuroPixel {
 
 /// Global gate bias: the voltage that makes a *nominal* device conduct
 /// the nominal calibration current.
-fn global_gate_bias(config: &NeuroPixelConfig) -> Volt {
-    Mosfet::new(config.sensor_fet.clone())
+///
+/// A config whose calibration current exceeds what the sensor FET can
+/// conduct has no such bias — that is a configuration error (reachable
+/// from an `AttachNeuro` wire request), not a panic.
+fn global_gate_bias(nominal: &Mosfet, config: &NeuroPixelConfig) -> Result<Volt, CircuitError> {
+    nominal
         .gate_voltage_for_current(
             config.cal_current,
             config.v_source,
@@ -100,43 +105,59 @@ fn global_gate_bias(config: &NeuroPixelConfig) -> Volt {
             Volt::ZERO,
             Volt::new(5.0),
         )
-        .expect("nominal bias exists")
+        .ok_or(CircuitError::NoOperatingPoint {
+            name: "nominal gate bias",
+        })
 }
 
 impl NeuroPixel {
     /// Instantiates a pixel, sampling its device mismatch from `rng`.
-    pub fn sample<R: Rng>(config: NeuroPixelConfig, rng: &mut R) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] if the sensor-FET parameters are invalid
+    /// or the calibration current has no nominal operating point.
+    pub fn sample<R: Rng>(config: NeuroPixelConfig, rng: &mut R) -> Result<Self, CircuitError> {
+        let nominal = Mosfet::try_new(config.sensor_fet.clone())?;
+        let global_gate = global_gate_bias(&nominal, &config)?;
         let mut g = GaussianSampler::new();
-        let sensor = config.pelgrom.instantiate(config.sensor_fet.clone(), rng);
+        let sensor = config.pelgrom.instantiate(&nominal, rng);
         let cal_err = config.cal_current_rel_sigma * g.sample(rng);
         let injection_offset = config.injection_sigma * g.sample(rng);
         let droop_rate = config.droop_rate_v_per_s * g.sample(rng);
-        Self {
+        Ok(Self {
             cal_current_actual: config.cal_current * (1.0 + cal_err),
             injection_offset,
             droop_rate,
             stored_gate: None,
             cal_time: Seconds::ZERO,
-            global_gate: global_gate_bias(&config),
+            global_gate,
             faults: PixelFaults::default(),
             sensor,
             config,
-        }
+        })
     }
 
     /// A mismatch-free pixel (for reference measurements).
-    pub fn nominal(config: NeuroPixelConfig) -> Self {
-        Self {
-            sensor: Mosfet::new(config.sensor_fet.clone()),
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] under the same conditions as
+    /// [`NeuroPixel::sample`].
+    pub fn nominal(config: NeuroPixelConfig) -> Result<Self, CircuitError> {
+        let sensor = Mosfet::try_new(config.sensor_fet.clone())?;
+        let global_gate = global_gate_bias(&sensor, &config)?;
+        Ok(Self {
+            sensor,
             cal_current_actual: config.cal_current,
             injection_offset: Volt::ZERO,
             droop_rate: 0.0,
             stored_gate: None,
             cal_time: Seconds::ZERO,
-            global_gate: global_gate_bias(&config),
+            global_gate,
             faults: PixelFaults::default(),
             config,
-        }
+        })
     }
 
     /// The configuration.
@@ -244,7 +265,7 @@ mod tests {
 
     fn sampled(seed: u64) -> NeuroPixel {
         let mut rng = SmallRng::seed_from_u64(seed);
-        NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng)
+        NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng).expect("default config valid")
     }
 
     #[test]
@@ -315,7 +336,10 @@ mod tests {
         // calibrations leak, and recalibration restores it.
         let mut rng = SmallRng::seed_from_u64(41);
         let mut pixels: Vec<NeuroPixel> = (0..256)
-            .map(|_| NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng))
+            .map(|_| {
+                NeuroPixel::sample(NeuroPixelConfig::default(), &mut rng)
+                    .expect("default config valid")
+            })
             .collect();
         for p in &mut pixels {
             p.calibrate(Seconds::ZERO);
@@ -364,7 +388,7 @@ mod tests {
 
     #[test]
     fn nominal_pixel_reads_zero_after_calibration() {
-        let mut p = NeuroPixel::nominal(NeuroPixelConfig::default());
+        let mut p = NeuroPixel::nominal(NeuroPixelConfig::default()).expect("default config valid");
         p.calibrate(Seconds::ZERO);
         let r = p.read(Volt::ZERO, Seconds::ZERO).abs();
         assert!(r.value() < 1e-12, "nominal residual = {r}");
@@ -400,5 +424,32 @@ mod tests {
         let a = sampled(7);
         let b = sampled(7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_sensor_fet_is_an_error_not_a_panic() {
+        // Regression for the reach.panic finding: a bad config arriving
+        // over the wire (AttachNeuro) must surface as a typed error.
+        let mut config = NeuroPixelConfig::default();
+        config.sensor_fet.width_um = -1.0;
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(NeuroPixel::sample(config.clone(), &mut rng).is_err());
+        assert!(NeuroPixel::nominal(config).is_err());
+    }
+
+    #[test]
+    fn unreachable_calibration_current_is_an_error_not_a_panic() {
+        // Far beyond what the 4/1.5 µm device conducts below the 5 V
+        // search ceiling: no nominal operating point exists.
+        let config = NeuroPixelConfig {
+            cal_current: Ampere::new(10.0),
+            ..NeuroPixelConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let err = NeuroPixel::sample(config, &mut rng);
+        assert!(
+            matches!(err, Err(bsa_circuit::CircuitError::NoOperatingPoint { .. })),
+            "{err:?}"
+        );
     }
 }

@@ -1,0 +1,50 @@
+//! Seeded concurrency-discipline violations (semantic lint fixture —
+//! lexed and parsed, never compiled).
+
+pub struct Gauges {
+    samples_in: AtomicU64,
+    drops: AtomicU64,
+    peers: Mutex<Vec<Peer>>,
+}
+
+impl Gauges {
+    /// Check-then-act: the classic lost-update window.
+    pub fn bump_drops(&self) {
+        let n = self.drops.load(Ordering::Relaxed); //~ conc.atomic-rmw
+        self.drops.store(n + 1, Ordering::Relaxed);
+    }
+
+    /// The sanctioned read-modify-write shape: exempt.
+    pub fn bump_drops_cas(&self) {
+        let mut cur = self.drops.load(Ordering::Relaxed);
+        loop {
+            match self.drops.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// First site of `samples_in` — anchors the mixed-ordering report
+    /// (`SeqCst` sneaks in below in `read_samples`).
+    pub fn record(&self) {
+        self.samples_in.fetch_add(1, Ordering::Relaxed); //~ conc.ordering
+    }
+
+    pub fn read_samples(&self) -> u64 {
+        self.samples_in.load(Ordering::SeqCst)
+    }
+
+    /// Socket write while the peer table is still locked.
+    pub fn broadcast(&self, frame: &[u8]) {
+        let peers = self.peers.lock();
+        for p in peers.iter() {
+            p.write_all(frame); //~ conc.hold-and-block
+        }
+    }
+}

@@ -19,15 +19,38 @@
 //!    than raw `f64` for dimensioned scalars, so a pA-vs-nA or Hz-vs-rad
 //!    mixup fails to compile instead of silently corrupting a readout.
 //!
-//! Run it as `cargo run -p bsa-lint -- check`. The analyzer is
-//! dependency-free: it lexes Rust itself ([`lexer`]) instead of pulling in
-//! `syn`, so it keeps working in a bare offline checkout.
+//! On top of the lexical passes sit three *semantic* families that need
+//! the whole workspace at once (DESIGN.md §11): a lightweight parser
+//! ([`parser`]) extracts fns, impls, enums and call sites; a cross-crate
+//! call graph then powers `reach.panic` (transitive panic reachability
+//! behind public APIs, [`reach`]), `proto.*` (wire-protocol
+//! encode/decode/handler exhaustiveness, [`proto`]) and `conc.*`
+//! (atomic read-modify-write and lock discipline in the station,
+//! [`conc`]).
+//!
+//! Run it as `cargo run -p bsa-lint -- check` (add `--format json` for
+//! the CI artifact). The analyzer is dependency-free: it lexes Rust
+//! itself ([`lexer`]) instead of pulling in `syn`, so it keeps working in
+//! a bare offline checkout.
 
 pub mod allow;
+pub mod conc;
 pub mod lexer;
+pub mod parser;
+pub mod proto;
+pub mod reach;
+pub mod report;
 pub mod rules;
 pub mod workspace;
 
 pub use allow::{reconcile, AllowEntry, Allowlist, Reconciliation};
-pub use rules::{run_rules, RuleSet, Violation, RULE_IDS};
-pub use workspace::{check_file, check_workspace, collect_files, rules_for, workspace_root};
+pub use conc::{conc_pass, STATION_PREFIX};
+pub use parser::{parse_file, ParsedFile};
+pub use proto::{proto_pass, ProtoConfig, ProtoSummary};
+pub use reach::reach_pass;
+pub use report::{render_json, Report};
+pub use rules::{rule_description, run_rules, RuleSet, Violation, RULE_IDS};
+pub use workspace::{
+    check_file, check_sources, check_workspace, collect_files, load_sources, rules_for,
+    workspace_root, SourceFile,
+};

@@ -4,6 +4,7 @@
 //! cargo run -p bsa-lint -- check     # enforce (CI gate): exit 1 on any
 //!                                    # non-allowlisted violation or any
 //!                                    # stale allowlist budget
+//! cargo run -p bsa-lint -- check --format json   # machine-readable report
 //! cargo run -p bsa-lint -- list     # every raw violation, pre-allowlist
 //! cargo run -p bsa-lint -- budget   # total allowlist budget (CI compares
 //!                                    # this against the baseline)
@@ -11,7 +12,10 @@
 //!                                    # down to the actual counts
 //! ```
 
-use bsa_lint::{allow, check_workspace, workspace_root, Allowlist, RULE_IDS};
+use bsa_lint::{
+    allow, check_workspace, load_sources, render_json, rule_description, workspace_root, Allowlist,
+    ProtoSummary, Report, RULE_IDS,
+};
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
@@ -22,23 +26,41 @@ const ALLOWLIST: &str = "lint.allow.toml";
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("check") => cmd_check(),
+        Some("check") => cmd_check(wants_json(&args)),
         Some("list") => cmd_list(),
         Some("budget") => cmd_budget(),
         Some("tighten") => cmd_tighten(),
         Some("rules") => {
             for id in RULE_IDS {
-                println!("{id}");
+                println!("{id:<22} {}", rule_description(id));
             }
             ExitCode::SUCCESS
         }
         other => {
             let name = other.unwrap_or("<none>");
             eprintln!("bsa-lint: unknown command `{name}`");
-            eprintln!("usage: cargo run -p bsa-lint -- <check|list|budget|tighten|rules>");
+            eprintln!(
+                "usage: cargo run -p bsa-lint -- <check|list|budget|tighten|rules> \
+                 [--format json]"
+            );
             ExitCode::from(2)
         }
     }
+}
+
+/// `--format json` or `--format=json` anywhere after the command.
+fn wants_json(args: &[String]) -> bool {
+    let mut prev_was_format = false;
+    for a in args {
+        if a == "--format=json" {
+            return true;
+        }
+        if prev_was_format && a == "json" {
+            return true;
+        }
+        prev_was_format = a == "--format";
+    }
+    false
 }
 
 fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
@@ -50,7 +72,26 @@ fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
     Allowlist::parse(&text).map_err(|e| e.to_string())
 }
 
-fn cmd_check() -> ExitCode {
+/// One-line protocol coverage summary for the human-readable output.
+fn proto_line(p: &ProtoSummary) -> String {
+    if !p.message_found {
+        return "proto: Message enum not found".to_string();
+    }
+    format!(
+        "proto: Message {}/{n} encoded, {}/{n} decoded, {}/{n} handled; \
+         ProtocolError {}/{} mapped; ErrorCode {}/{} constructed",
+        p.encoded,
+        p.decoded,
+        p.handled,
+        p.error_mapped,
+        p.error_variants,
+        p.reply_constructed,
+        p.reply_variants,
+        n = p.message_variants,
+    )
+}
+
+fn cmd_check(json: bool) -> ExitCode {
     let root = workspace_root();
     let allowlist = match load_allowlist(&root) {
         Ok(a) => a,
@@ -59,14 +100,33 @@ fn cmd_check() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let violations = match check_workspace(&root) {
-        Ok(v) => v,
+    let sources = match load_sources(&root) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("bsa-lint: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let (violations, proto) = bsa_lint::check_sources(&sources, &allowlist);
     let rec = allow::reconcile(&violations, &allowlist);
+
+    if json {
+        print!(
+            "{}",
+            render_json(&Report {
+                files_checked: sources.len(),
+                violations_total: violations.len(),
+                rec: &rec,
+                allow: &allowlist,
+                proto: &proto,
+            })
+        );
+        return if rec.clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     for v in &rec.unallowed {
         println!("{v}");
@@ -79,6 +139,7 @@ fn cmd_check() -> ExitCode {
         );
     }
 
+    println!("{}", proto_line(&proto));
     let allowed = violations.len() - rec.unallowed.len();
     if rec.clean() {
         println!(
@@ -101,8 +162,15 @@ fn cmd_check() -> ExitCode {
 
 fn cmd_list() -> ExitCode {
     let root = workspace_root();
-    match check_workspace(&root) {
-        Ok(violations) => {
+    let allowlist = match load_allowlist(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bsa-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_workspace(&root, &allowlist) {
+        Ok((violations, proto)) => {
             for v in &violations {
                 println!("{v}");
             }
@@ -114,6 +182,7 @@ fn cmd_list() -> ExitCode {
             for (rule, n) in by_rule {
                 println!("--   {rule}: {n}");
             }
+            println!("-- {}", proto_line(&proto));
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -146,8 +215,8 @@ fn cmd_tighten() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let violations = match check_workspace(&root) {
-        Ok(v) => v,
+    let violations = match check_workspace(&root, &allowlist) {
+        Ok((v, _)) => v,
         Err(e) => {
             eprintln!("bsa-lint: {e}");
             return ExitCode::FAILURE;

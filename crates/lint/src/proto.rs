@@ -1,0 +1,445 @@
+//! `proto.*` — wire-protocol drift detection.
+//!
+//! The `bsa-link` codec and the `bsa-station` session loop must agree on
+//! the full `Message` vocabulary: every variant needs an encode arm, a
+//! decode arm, *and* a station handler, or message 25 becomes a runtime
+//! hang instead of a CI failure. Likewise every `ProtocolError` variant
+//! needs a `Display` mapping in the codec crate, and every `ErrorCode`
+//! (the typed reply vocabulary) must actually be constructed somewhere in
+//! the station — a reply code nothing can ever send is dead protocol
+//! surface.
+//!
+//! Detection leans on a deliberate idiom split in this workspace: the
+//! codec matches its own variants as `Self::Variant` inside
+//! `Message::encode_payload`/`decode_payload`, while the station — an
+//! outside consumer — always writes `Message::Variant`. Coverage is
+//! therefore: variant ident present in the encode/decode fn body
+//! (codec side), and the qualified pair `Message::Variant` present
+//! anywhere in station source (handler side).
+
+use crate::parser::ParsedFile;
+use crate::rules::{violation, Violation};
+use crate::workspace::SourceFile;
+use std::collections::BTreeSet;
+
+/// Which enums and file prefixes the pass checks. Parameterized so the
+/// fixtures can exercise the pass on synthetic files.
+#[derive(Debug, Clone)]
+pub struct ProtoConfig {
+    /// Wire message enum name (`Message`).
+    pub message_enum: &'static str,
+    /// Files containing the codec (enum defs + encode/decode).
+    pub codec_prefix: &'static str,
+    /// Files containing the consumer/handler side.
+    pub handler_prefix: &'static str,
+    /// Decode error enum name (`ProtocolError`).
+    pub error_enum: &'static str,
+    /// Typed reply code enum name (`ErrorCode`).
+    pub reply_enum: &'static str,
+}
+
+impl ProtoConfig {
+    /// The real workspace wiring.
+    pub const WORKSPACE: Self = Self {
+        message_enum: "Message",
+        codec_prefix: "crates/link/src/",
+        handler_prefix: "crates/station/src/",
+        error_enum: "ProtocolError",
+        reply_enum: "ErrorCode",
+    };
+}
+
+/// Counts reported by the pass, surfaced in `check` output and the JSON
+/// report so "24/24 handled" is a visible assertion, not a silent pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProtoSummary {
+    /// `Message` enum located in the codec crate.
+    pub message_found: bool,
+    /// Total `Message` variants.
+    pub message_variants: usize,
+    /// Variants with an encode arm.
+    pub encoded: usize,
+    /// Variants with a decode arm.
+    pub decoded: usize,
+    /// Variants referenced by the station.
+    pub handled: usize,
+    /// `ProtocolError` enum located.
+    pub error_found: bool,
+    /// Total `ProtocolError` variants.
+    pub error_variants: usize,
+    /// Variants with a `Display`/reply mapping in the codec crate.
+    pub error_mapped: usize,
+    /// `ErrorCode` enum located.
+    pub reply_found: bool,
+    /// Total `ErrorCode` variants.
+    pub reply_variants: usize,
+    /// Variants the station actually constructs.
+    pub reply_constructed: usize,
+}
+
+/// Runs the protocol-exhaustiveness checks. `sources` and `parsed` must be
+/// index-aligned.
+pub fn proto_pass(
+    sources: &[SourceFile],
+    parsed: &[ParsedFile],
+    cfg: &ProtoConfig,
+    out: &mut Vec<Violation>,
+) -> ProtoSummary {
+    let mut summary = ProtoSummary::default();
+
+    // Qualified `A::B` ident pairs, per side.
+    let codec_pairs = qualified_pairs(sources, cfg.codec_prefix);
+    let handler_pairs = qualified_pairs(sources, cfg.handler_prefix);
+
+    // --- Message: encode + decode + handler coverage ---------------------
+    if let Some((file, e)) = find_enum(parsed, cfg.codec_prefix, cfg.message_enum) {
+        summary.message_found = true;
+        summary.message_variants = e.variants.len();
+        let encode = fn_body_idents(
+            sources,
+            parsed,
+            cfg.codec_prefix,
+            cfg.message_enum,
+            "encode_payload",
+        );
+        let decode = fn_body_idents(
+            sources,
+            parsed,
+            cfg.codec_prefix,
+            cfg.message_enum,
+            "decode_payload",
+        );
+        if encode.is_none() {
+            out.push(violation(
+                file,
+                e.line,
+                "proto.exhaustive",
+                format!(
+                    "no `{}::encode_payload` fn found in the codec",
+                    cfg.message_enum
+                ),
+            ));
+        }
+        if decode.is_none() {
+            out.push(violation(
+                file,
+                e.line,
+                "proto.exhaustive",
+                format!(
+                    "no `{}::decode_payload` fn found in the codec",
+                    cfg.message_enum
+                ),
+            ));
+        }
+        for v in &e.variants {
+            let enc = encode.as_ref().is_some_and(|s| s.contains(&v.name));
+            let dec = decode.as_ref().is_some_and(|s| s.contains(&v.name));
+            let handled = handler_pairs.contains(&(cfg.message_enum.to_string(), v.name.clone()));
+            if enc {
+                summary.encoded += 1;
+            } else if encode.is_some() {
+                out.push(violation(
+                    file,
+                    v.line,
+                    "proto.exhaustive",
+                    format!(
+                        "`{}::{}` has no encode arm in `encode_payload`",
+                        cfg.message_enum, v.name
+                    ),
+                ));
+            }
+            if dec {
+                summary.decoded += 1;
+            } else if decode.is_some() {
+                out.push(violation(
+                    file,
+                    v.line,
+                    "proto.exhaustive",
+                    format!(
+                        "`{}::{}` has no decode arm in `decode_payload`",
+                        cfg.message_enum, v.name
+                    ),
+                ));
+            }
+            if handled {
+                summary.handled += 1;
+            } else {
+                out.push(violation(
+                    file,
+                    v.line,
+                    "proto.exhaustive",
+                    format!(
+                        "`{}::{}` is never referenced under {} — no session handler \
+                         or response constructor",
+                        cfg.message_enum, v.name, cfg.handler_prefix
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- ProtocolError: every variant needs a mapping in the codec -------
+    if let Some((file, e)) = find_enum(parsed, cfg.codec_prefix, cfg.error_enum) {
+        summary.error_found = true;
+        summary.error_variants = e.variants.len();
+        for v in &e.variants {
+            // `Display`/`From` impls in the codec write `Self::Variant` or
+            // `ProtocolError::Variant`; the enum definition itself emits no
+            // qualified pair, so presence means a real mapping exists.
+            let mapped = codec_pairs.contains(&(cfg.error_enum.to_string(), v.name.clone()))
+                || codec_pairs.contains(&("Self".to_string(), v.name.clone()));
+            if mapped {
+                summary.error_mapped += 1;
+            } else {
+                out.push(violation(
+                    file,
+                    v.line,
+                    "proto.exhaustive",
+                    format!(
+                        "`{}::{}` has no reply/Display mapping in the codec",
+                        cfg.error_enum, v.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- ErrorCode: the station must be able to send every reply code ----
+    if let Some((file, e)) = find_enum(parsed, cfg.codec_prefix, cfg.reply_enum) {
+        summary.reply_found = true;
+        summary.reply_variants = e.variants.len();
+        for v in &e.variants {
+            let constructed = handler_pairs.contains(&(cfg.reply_enum.to_string(), v.name.clone()));
+            if constructed {
+                summary.reply_constructed += 1;
+            } else {
+                out.push(violation(
+                    file,
+                    v.line,
+                    "proto.error-reply",
+                    format!(
+                        "`{}::{}` is never constructed under {} — the station can \
+                         never send this reply code",
+                        cfg.reply_enum, v.name, cfg.handler_prefix
+                    ),
+                ));
+            }
+        }
+    }
+
+    summary
+}
+
+/// Finds the named enum among files under `prefix`, returning its file
+/// path and item.
+fn find_enum<'a>(
+    parsed: &'a [ParsedFile],
+    prefix: &str,
+    name: &str,
+) -> Option<(&'a str, &'a crate::parser::EnumItem)> {
+    parsed
+        .iter()
+        .filter(|pf| pf.path.starts_with(prefix))
+        .find_map(|pf| {
+            pf.enums
+                .iter()
+                .find(|e| e.name == name)
+                .map(|e| (pf.path.as_str(), e))
+        })
+}
+
+/// The set of identifiers appearing in the body of `{qualified_on}::{name}`
+/// under `prefix`, or `None` if no such fn exists.
+fn fn_body_idents(
+    sources: &[SourceFile],
+    parsed: &[ParsedFile],
+    prefix: &str,
+    qualified_on: &str,
+    name: &str,
+) -> Option<BTreeSet<String>> {
+    let want = format!("{qualified_on}::{name}");
+    for (fi, pf) in parsed.iter().enumerate() {
+        if !pf.path.starts_with(prefix) {
+            continue;
+        }
+        if let Some(f) = pf.fns.iter().find(|f| f.qualified == want) {
+            let body = sources
+                .get(fi)
+                .and_then(|s| s.tokens.get(f.body.clone()))
+                .unwrap_or(&[]);
+            return Some(
+                body.iter()
+                    .filter_map(|t| t.ident())
+                    .map(str::to_string)
+                    .collect(),
+            );
+        }
+    }
+    None
+}
+
+/// Collects every qualified `A::B` ident pair in token streams under
+/// `prefix` (`::` lexes as two `:` puncts).
+fn qualified_pairs(sources: &[SourceFile], prefix: &str) -> BTreeSet<(String, String)> {
+    let mut pairs = BTreeSet::new();
+    for s in sources.iter().filter(|s| s.path.starts_with(prefix)) {
+        for (i, t) in s.tokens.iter().enumerate() {
+            let Some(a) = t.ident() else { continue };
+            let colons = matches!(s.tokens.get(i + 1), Some(t) if t.is_punct(':'))
+                && matches!(s.tokens.get(i + 2), Some(t) if t.is_punct(':'));
+            if !colons {
+                continue;
+            }
+            if let Some(b) = s.tokens.get(i + 3).and_then(|t| t.ident()) {
+                pairs.insert((a.to_string(), b.to_string()));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_test_code};
+    use crate::parser::parse_file;
+
+    const CFG: ProtoConfig = ProtoConfig {
+        message_enum: "Message",
+        codec_prefix: "crates/link/src/",
+        handler_prefix: "crates/station/src/",
+        error_enum: "ProtocolError",
+        reply_enum: "ErrorCode",
+    };
+
+    fn run(files: &[(&str, &str)]) -> (Vec<Violation>, ProtoSummary) {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(path, src)| SourceFile {
+                path: path.to_string(),
+                tokens: strip_test_code(&lex(src)),
+            })
+            .collect();
+        let parsed: Vec<ParsedFile> = sources
+            .iter()
+            .map(|s| parse_file(&s.path, &s.tokens))
+            .collect();
+        let mut out = Vec::new();
+        let summary = proto_pass(&sources, &parsed, &CFG, &mut out);
+        (out, summary)
+    }
+
+    const CODEC: &str = r#"
+        pub enum Message { Ping, Pong, Orphan }
+        pub enum ProtocolError { Io, BadMagic }
+        pub enum ErrorCode { BadRequest, Internal }
+        impl Message {
+            pub fn encode_payload(&self) -> u8 {
+                match self { Self::Ping => 1, Self::Pong => 2, Self::Orphan => 3 }
+            }
+            pub fn decode_payload(tag: u8) -> Result<Self, ProtocolError> {
+                match tag { 1 => Ok(Self::Ping), 2 => Ok(Self::Pong), 3 => Ok(Self::Orphan),
+                            _ => Err(ProtocolError::BadMagic) }
+            }
+        }
+        impl Display for ProtocolError {
+            fn fmt(&self) -> u8 { match self { Self::Io => 0, Self::BadMagic => 1 } }
+        }
+    "#;
+
+    const STATION: &str = r#"
+        pub fn handle(msg: Message) -> Message {
+            match msg {
+                Message::Ping => Message::Pong,
+                other => reply(ErrorCode::BadRequest),
+            }
+        }
+        pub fn internal() -> ErrorCode { ErrorCode::Internal }
+    "#;
+
+    #[test]
+    fn fully_wired_variants_are_counted_not_flagged() {
+        let (v, s) = run(&[
+            ("crates/link/src/message.rs", CODEC),
+            ("crates/station/src/session.rs", STATION),
+        ]);
+        assert!(s.message_found && s.error_found && s.reply_found);
+        assert_eq!(s.message_variants, 3);
+        assert_eq!((s.encoded, s.decoded), (3, 3));
+        // Ping and Pong are referenced by the station; Orphan is not.
+        assert_eq!(s.handled, 2);
+        assert_eq!((s.error_variants, s.error_mapped), (2, 2));
+        assert_eq!((s.reply_variants, s.reply_constructed), (2, 2));
+        assert_eq!(v.len(), 1, "{v:#?}");
+        let f = v.first().expect("one");
+        assert_eq!(f.rule, "proto.exhaustive");
+        assert!(f.message.contains("Orphan"), "{}", f.message);
+    }
+
+    #[test]
+    fn missing_decode_arm_and_unmapped_error_are_flagged() {
+        let codec = r#"
+            pub enum Message { Ping, Late }
+            pub enum ProtocolError { Io, Silent }
+            impl Message {
+                pub fn encode_payload(&self) -> u8 {
+                    match self { Self::Ping => 1, Self::Late => 2 }
+                }
+                pub fn decode_payload(tag: u8) -> Result<Self, ProtocolError> {
+                    match tag { 1 => Ok(Self::Ping), _ => Err(ProtocolError::Io) }
+                }
+            }
+        "#;
+        let station = "pub fn h() { let a = Message::Ping; let b = Message::Late; }";
+        let (v, s) = run(&[
+            ("crates/link/src/message.rs", codec),
+            ("crates/station/src/session.rs", station),
+        ]);
+        assert_eq!(s.decoded, 1);
+        assert_eq!(s.error_mapped, 1);
+        let rules: Vec<_> = v.iter().map(|v| (v.rule, v.message.clone())).collect();
+        assert_eq!(v.len(), 2, "{rules:?}");
+        assert!(v
+            .iter()
+            .any(|f| f.message.contains("Late") && f.message.contains("decode")));
+        assert!(v.iter().any(|f| f.message.contains("Silent")));
+    }
+
+    #[test]
+    fn unconstructed_reply_code_is_flagged() {
+        let codec = r#"
+            pub enum ErrorCode { BadRequest, NeverBuilt }
+        "#;
+        let station = "pub fn h() -> ErrorCode { ErrorCode::BadRequest }";
+        let (v, s) = run(&[
+            ("crates/link/src/message.rs", codec),
+            ("crates/station/src/session.rs", station),
+        ]);
+        assert_eq!((s.reply_variants, s.reply_constructed), (2, 1));
+        assert_eq!(v.len(), 1, "{v:#?}");
+        let f = v.first().expect("one");
+        assert_eq!(f.rule, "proto.error-reply");
+        assert!(f.message.contains("NeverBuilt"), "{}", f.message);
+    }
+
+    #[test]
+    fn missing_codec_fns_are_reported_once_each() {
+        let codec = "pub enum Message { Ping }";
+        let station = "pub fn h() { let a = Message::Ping; }";
+        let (v, s) = run(&[
+            ("crates/link/src/message.rs", codec),
+            ("crates/station/src/session.rs", station),
+        ]);
+        assert_eq!((s.encoded, s.decoded, s.handled), (0, 0, 1));
+        // Two fn-missing violations; no per-variant arm violations piled on.
+        assert_eq!(v.len(), 2, "{v:#?}");
+        assert!(v.iter().all(|f| f.rule == "proto.exhaustive"));
+    }
+
+    #[test]
+    fn absent_enums_leave_summary_unfound_without_violations() {
+        let (v, s) = run(&[("crates/core/src/lib.rs", "pub fn f() {}")]);
+        assert!(!s.message_found && !s.error_found && !s.reply_found);
+        assert!(v.is_empty(), "{v:#?}");
+    }
+}

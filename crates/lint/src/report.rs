@@ -1,0 +1,254 @@
+//! `--format json`: a machine-readable report for the CI artifact.
+//!
+//! Rendered by hand (the workspace vendors no serde); the schema is
+//! flat and stable so the CI job can diff `lint-report.json` across
+//! commits.
+
+use crate::allow::{Allowlist, Reconciliation};
+use crate::proto::ProtoSummary;
+use crate::rules::RULE_IDS;
+
+/// Everything one `check` run produces.
+#[derive(Debug)]
+pub struct Report<'a> {
+    /// Files scanned.
+    pub files_checked: usize,
+    /// Raw violation count before reconciliation.
+    pub violations_total: usize,
+    /// Outcome of budget reconciliation.
+    pub rec: &'a Reconciliation,
+    /// The allowlist in force.
+    pub allow: &'a Allowlist,
+    /// Protocol coverage counts.
+    pub proto: &'a ProtoSummary,
+}
+
+/// Renders the report as a JSON document (trailing newline included).
+pub fn render_json(r: &Report<'_>) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\n");
+    let status = if r.rec.clean() { "clean" } else { "failed" };
+    push_kv_str(&mut s, 1, "status", status, true);
+    push_kv_num(&mut s, 1, "files_checked", r.files_checked, true);
+
+    s.push_str("  \"violations\": {\n");
+    push_kv_num(&mut s, 2, "total", r.violations_total, true);
+    let allowed = r.violations_total.saturating_sub(r.rec.unallowed.len());
+    push_kv_num(&mut s, 2, "allowed", allowed, true);
+    s.push_str("    \"unallowed\": [");
+    for (i, v) in r.rec.unallowed.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n      {\"file\": \"");
+        s.push_str(&json_escape(&v.file));
+        s.push_str("\", \"line\": ");
+        s.push_str(&v.line.to_string());
+        s.push_str(", \"rule\": \"");
+        s.push_str(&json_escape(v.rule));
+        s.push_str("\", \"message\": \"");
+        s.push_str(&json_escape(&v.message));
+        s.push_str("\"}");
+    }
+    if !r.rec.unallowed.is_empty() {
+        s.push_str("\n    ");
+    }
+    s.push_str("],\n");
+    s.push_str("    \"stale_budgets\": [");
+    for (i, (entry, actual)) in r.rec.stale.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n      {\"file\": \"");
+        s.push_str(&json_escape(&entry.file));
+        s.push_str("\", \"rule\": \"");
+        s.push_str(&json_escape(&entry.rule));
+        s.push_str("\", \"max\": ");
+        s.push_str(&entry.max.to_string());
+        s.push_str(", \"actual\": ");
+        s.push_str(&actual.to_string());
+        s.push('}');
+    }
+    if !r.rec.stale.is_empty() {
+        s.push_str("\n    ");
+    }
+    s.push_str("]\n  },\n");
+
+    s.push_str("  \"budget\": {\n");
+    push_kv_num(&mut s, 2, "entries", r.allow.entries.len(), true);
+    push_kv_num(&mut s, 2, "total", r.allow.total_budget(), false);
+    s.push_str("  },\n");
+
+    s.push_str("  \"proto\": {\n");
+    s.push_str("    \"message\": ");
+    push_coverage(
+        &mut s,
+        r.proto.message_found,
+        &[
+            ("variants", r.proto.message_variants),
+            ("encoded", r.proto.encoded),
+            ("decoded", r.proto.decoded),
+            ("handled", r.proto.handled),
+        ],
+    );
+    s.push_str(",\n    \"protocol_error\": ");
+    push_coverage(
+        &mut s,
+        r.proto.error_found,
+        &[
+            ("variants", r.proto.error_variants),
+            ("mapped", r.proto.error_mapped),
+        ],
+    );
+    s.push_str(",\n    \"error_code\": ");
+    push_coverage(
+        &mut s,
+        r.proto.reply_found,
+        &[
+            ("variants", r.proto.reply_variants),
+            ("constructed", r.proto.reply_constructed),
+        ],
+    );
+    s.push_str("\n  },\n");
+
+    s.push_str("  \"rules\": [");
+    for (i, id) in RULE_IDS.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push('"');
+        s.push_str(id);
+        s.push('"');
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+fn push_kv_str(s: &mut String, indent: usize, key: &str, value: &str, comma: bool) {
+    push_indent(s, indent);
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\": \"");
+    s.push_str(&json_escape(value));
+    s.push('"');
+    if comma {
+        s.push(',');
+    }
+    s.push('\n');
+}
+
+fn push_kv_num(s: &mut String, indent: usize, key: &str, value: usize, comma: bool) {
+    push_indent(s, indent);
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\": ");
+    s.push_str(&value.to_string());
+    if comma {
+        s.push(',');
+    }
+    s.push('\n');
+}
+
+fn push_indent(s: &mut String, indent: usize) {
+    for _ in 0..indent {
+        s.push_str("  ");
+    }
+}
+
+fn push_coverage(s: &mut String, found: bool, fields: &[(&str, usize)]) {
+    s.push_str("{\"found\": ");
+    s.push_str(if found { "true" } else { "false" });
+    for (k, v) in fields {
+        s.push_str(", \"");
+        s.push_str(k);
+        s.push_str("\": ");
+        s.push_str(&v.to_string());
+    }
+    s.push('}');
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let hi = (c as u32) >> 4;
+                let lo = (c as u32) & 0xf;
+                out.push(char::from_digit(hi, 16).unwrap_or('0'));
+                out.push(char::from_digit(lo, 16).unwrap_or('0'));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allow::{reconcile, AllowEntry};
+    use crate::rules::Violation;
+
+    #[test]
+    fn clean_report_renders_and_balances() {
+        let rec = Reconciliation::default();
+        let allow = Allowlist {
+            entries: vec![AllowEntry {
+                file: "crates/core/src/a.rs".to_string(),
+                rule: "panic.indexing".to_string(),
+                max: 3,
+                reason: "bounds proven by construction".to_string(),
+            }],
+        };
+        let proto = ProtoSummary {
+            message_found: true,
+            message_variants: 24,
+            encoded: 24,
+            decoded: 24,
+            handled: 24,
+            ..ProtoSummary::default()
+        };
+        let json = render_json(&Report {
+            files_checked: 42,
+            violations_total: 3,
+            rec: &rec,
+            allow: &allow,
+            proto: &proto,
+        });
+        assert!(json.contains("\"status\": \"clean\""), "{json}");
+        assert!(json.contains("\"handled\": 24"), "{json}");
+        assert!(json.contains("\"total\": 3"), "{json}");
+        // Brackets and braces balance.
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn failed_report_lists_unallowed_with_escaping() {
+        let violations = vec![Violation {
+            file: "crates/dsp/src/x.rs".to_string(),
+            line: 7,
+            rule: "panic.unwrap",
+            message: "a \"quoted\"\nmessage".to_string(),
+        }];
+        let allow = Allowlist::default();
+        let rec = reconcile(&violations, &allow);
+        let json = render_json(&Report {
+            files_checked: 1,
+            violations_total: 1,
+            rec: &rec,
+            allow: &allow,
+            proto: &ProtoSummary::default(),
+        });
+        assert!(json.contains("\"status\": \"failed\""), "{json}");
+        assert!(json.contains("\\\"quoted\\\"\\nmessage"), "{json}");
+        assert!(json.contains("\"line\": 7"), "{json}");
+    }
+}

@@ -68,7 +68,37 @@ pub const RULE_IDS: &[&str] = &[
     "panic.macro",
     "panic.indexing",
     "units.raw-f64",
+    "reach.panic",
+    "proto.exhaustive",
+    "proto.error-reply",
+    "conc.atomic-rmw",
+    "conc.ordering",
+    "conc.hold-and-block",
 ];
+
+/// One-line description per rule id, for `rules` output.
+pub fn rule_description(id: &str) -> &'static str {
+    match id {
+        "det.time" => "wall-clock reads (Instant/SystemTime) in deterministic paths",
+        "det.rng" => "unseeded RNG (thread_rng/rand::random) in deterministic paths",
+        "det.hash-collection" => "HashMap/HashSet iteration-order nondeterminism",
+        "det.unordered-reduce" => "parallel float reduction in thread-dependent order",
+        "panic.unwrap" => ".unwrap() in non-test library code",
+        "panic.expect" => ".expect() in non-test library code",
+        "panic.macro" => "panic!/unreachable!/todo!/unimplemented! in library code",
+        "panic.indexing" => "direct slice indexing that can panic",
+        "units.raw-f64" => "raw f64 where a bsa-units newtype exists",
+        "reach.panic" => "panic reachable through the call graph from a pub API fn",
+        "proto.exhaustive" => {
+            "Message/ProtocolError variant missing encode/decode/handler coverage"
+        }
+        "proto.error-reply" => "typed reply code never constructed by the station",
+        "conc.atomic-rmw" => "non-atomic read-modify-write on an atomic counter",
+        "conc.ordering" => "inconsistent memory Ordering across uses of one atomic",
+        "conc.hold-and-block" => "blocking call while holding a lock",
+        _ => "unknown rule",
+    }
+}
 
 /// Runs every enabled rule family over a test-stripped token stream.
 pub fn run_rules(file: &str, tokens: &[Token], rules: RuleSet) -> Vec<Violation> {
@@ -86,7 +116,12 @@ pub fn run_rules(file: &str, tokens: &[Token], rules: RuleSet) -> Vec<Violation>
     out
 }
 
-fn violation(file: &str, line: usize, rule: &'static str, message: impl Into<String>) -> Violation {
+pub(crate) fn violation(
+    file: &str,
+    line: usize,
+    rule: &'static str,
+    message: impl Into<String>,
+) -> Violation {
     Violation {
         file: file.to_string(),
         line,
@@ -248,7 +283,7 @@ const NON_INDEX_PREFIX_KEYWORDS: &[&str] = &[
 /// the rule targets implicit panics, not explicit contracts.
 const FLAGGED_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
-fn panic_pass(file: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+pub(crate) fn panic_pass(file: &str, tokens: &[Token], out: &mut Vec<Violation>) {
     for (i, t) in tokens.iter().enumerate() {
         // `.unwrap()` / `.expect(` at method position.
         if let Some(name) = t.ident() {

@@ -18,7 +18,12 @@
 //!   `crates/units` (which defines the newtypes in terms of raw `f64`)
 //!   and this crate (which has no physical API surface).
 
-use crate::lexer::{lex, strip_test_code};
+use crate::allow::Allowlist;
+use crate::conc::{conc_pass, STATION_PREFIX};
+use crate::lexer::{lex, strip_test_code, Token};
+use crate::parser::{parse_file, ParsedFile};
+use crate::proto::{proto_pass, ProtoConfig, ProtoSummary};
+use crate::reach::reach_pass;
 use crate::rules::{run_rules, RuleSet, Violation};
 use std::fs;
 use std::io;
@@ -99,20 +104,65 @@ fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lexes, test-strips and rule-checks a single file.
+/// Lexes, test-strips and rule-checks a single file (lexical rules only —
+/// the semantic passes need the whole workspace; see [`check_sources`]).
 pub fn check_file(root: &Path, rel_path: &str) -> io::Result<Vec<Violation>> {
     let source = fs::read_to_string(root.join(rel_path))?;
     let tokens = strip_test_code(&lex(&source));
     Ok(run_rules(rel_path, &tokens, rules_for(rel_path)))
 }
 
-/// Runs the full analysis over every in-scope workspace file.
-pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
-    let mut all = Vec::new();
+/// One in-scope file, lexed and test-stripped — the unit the semantic
+/// passes consume.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Test-stripped token stream.
+    pub tokens: Vec<Token>,
+}
+
+/// Reads and lexes every in-scope workspace file.
+pub fn load_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut sources = Vec::new();
     for rel in collect_files(root)? {
-        all.extend(check_file(root, &rel)?);
+        let text = fs::read_to_string(root.join(&rel))?;
+        sources.push(SourceFile {
+            path: rel,
+            tokens: strip_test_code(&lex(&text)),
+        });
     }
-    Ok(all)
+    Ok(sources)
+}
+
+/// Runs every pass — per-file lexical rules, then the workspace-level
+/// semantic passes (panic reachability, protocol exhaustiveness,
+/// concurrency discipline) — over pre-loaded sources. The allowlist is
+/// input (not just output reconciliation) because `reach.panic` treats
+/// allowlisted indexing budgets as local bounds proofs.
+pub fn check_sources(sources: &[SourceFile], allow: &Allowlist) -> (Vec<Violation>, ProtoSummary) {
+    let mut all = Vec::new();
+    for s in sources {
+        all.extend(run_rules(&s.path, &s.tokens, rules_for(&s.path)));
+    }
+    let parsed: Vec<ParsedFile> = sources
+        .iter()
+        .map(|s| parse_file(&s.path, &s.tokens))
+        .collect();
+    reach_pass(sources, &parsed, allow, &mut all);
+    let summary = proto_pass(sources, &parsed, &ProtoConfig::WORKSPACE, &mut all);
+    conc_pass(sources, &parsed, STATION_PREFIX, &mut all);
+    all.sort_by(|a, b| (a.file.clone(), a.line, a.rule).cmp(&(b.file.clone(), b.line, b.rule)));
+    (all, summary)
+}
+
+/// Runs the full analysis over every in-scope workspace file.
+pub fn check_workspace(
+    root: &Path,
+    allow: &Allowlist,
+) -> io::Result<(Vec<Violation>, ProtoSummary)> {
+    let sources = load_sources(root)?;
+    Ok(check_sources(&sources, allow))
 }
 
 #[cfg(test)]

@@ -5,6 +5,10 @@
 
 use bsa_lint::lexer::{lex, strip_test_code};
 use bsa_lint::rules::{run_rules, RuleSet};
+use bsa_lint::{
+    conc_pass, parse_file, proto_pass, reach_pass, Allowlist, ParsedFile, ProtoConfig, SourceFile,
+    Violation, STATION_PREFIX,
+};
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
@@ -43,13 +47,39 @@ fn check_fixture(name: &str, rules: RuleSet) {
     let source = fixture(name);
     let expected = expected_markers(&source);
     let violations = run_rules(name, &strip_test_code(&lex(&source)), rules);
+    assert_markers(name, &expected, &violations);
+}
 
+/// A semantic pass under test, erased to a common shape.
+type SemanticPass<'a> = &'a dyn Fn(&[SourceFile], &[ParsedFile], &mut Vec<Violation>);
+
+/// Lexes + parses one fixture under a synthetic workspace path and runs
+/// the given semantic pass over it, then applies the same exact-match
+/// marker discipline as the lexical fixtures.
+fn check_semantic_fixture(name: &str, synthetic_path: &str, pass: SemanticPass<'_>) {
+    let source = fixture(name);
+    let expected = expected_markers(&source);
+    let sf = SourceFile {
+        path: synthetic_path.to_string(),
+        tokens: strip_test_code(&lex(&source)),
+    };
+    let pf = parse_file(&sf.path, &sf.tokens);
+    let mut violations = Vec::new();
+    pass(&[sf], &[pf], &mut violations);
+    assert_markers(name, &expected, &violations);
+}
+
+fn assert_markers(
+    name: &str,
+    expected: &BTreeMap<(usize, String), usize>,
+    violations: &[Violation],
+) {
     let mut actual: BTreeMap<(usize, String), usize> = BTreeMap::new();
-    for v in &violations {
+    for v in violations {
         *actual.entry((v.line, v.rule.to_string())).or_insert(0) += 1;
     }
 
-    for ((line, rule), n) in &expected {
+    for ((line, rule), n) in expected {
         let got = actual.get(&(*line, rule.clone())).copied().unwrap_or(0);
         assert_eq!(
             got, *n,
@@ -65,6 +95,17 @@ fn check_fixture(name: &str, rules: RuleSet) {
         );
     }
 }
+
+/// Fixture-local proto wiring: the single fixture file plays both the
+/// codec and the station (the idiom split — `Self::…` vs `Message::…` —
+/// keeps the two halves distinguishable, exactly as in the workspace).
+const FIXTURE_PROTO: ProtoConfig = ProtoConfig {
+    message_enum: "Message",
+    codec_prefix: "crates/lint/fixtures/",
+    handler_prefix: "crates/lint/fixtures/",
+    error_enum: "ProtocolError",
+    reply_enum: "ErrorCode",
+};
 
 #[test]
 fn determinism_fixture_is_fully_flagged() {
@@ -82,6 +123,38 @@ fn units_fixture_is_fully_flagged() {
 }
 
 #[test]
+fn reach_fixture_is_fully_flagged() {
+    // Synthetic path inside a reporting-scope crate; empty allowlist so
+    // every sink kind (including indexing) propagates.
+    check_semantic_fixture(
+        "reach.rs",
+        "crates/core/src/reach_fixture.rs",
+        &|s, p, out| {
+            let empty = Allowlist::parse("").expect("empty allowlist parses");
+            reach_pass(s, p, &empty, out);
+        },
+    );
+}
+
+#[test]
+fn proto_fixture_is_fully_flagged() {
+    check_semantic_fixture("proto.rs", "crates/lint/fixtures/proto.rs", &|s, p, out| {
+        proto_pass(s, p, &FIXTURE_PROTO, out);
+    });
+}
+
+#[test]
+fn conc_fixture_is_fully_flagged() {
+    check_semantic_fixture(
+        "conc.rs",
+        "crates/station/src/conc_fixture.rs",
+        &|s, p, out| {
+            conc_pass(s, p, STATION_PREFIX, out);
+        },
+    );
+}
+
+#[test]
 fn clean_fixture_has_zero_violations() {
     let source = fixture("clean.rs");
     assert!(
@@ -95,7 +168,14 @@ fn clean_fixture_has_zero_violations() {
 #[test]
 fn every_rule_id_is_exercised_by_some_fixture() {
     let mut seen: Vec<String> = Vec::new();
-    for name in ["determinism.rs", "panics.rs", "units.rs"] {
+    for name in [
+        "determinism.rs",
+        "panics.rs",
+        "units.rs",
+        "reach.rs",
+        "proto.rs",
+        "conc.rs",
+    ] {
         for ((_, rule), _) in expected_markers(&fixture(name)) {
             seen.push(rule);
         }

@@ -101,13 +101,13 @@ fn accept_loop(
             Ok(s) => s,
             Err(_) => continue,
         };
-        let active = stats.sessions_active.load(Ordering::Relaxed);
-        if active >= max_sessions {
+        // Claim the slot atomically (CAS inside): a load-then-add here
+        // would let two concurrent accepts both pass the check and admit
+        // max_sessions + 1.
+        if !stats.try_open_session(max_sessions) {
             refuse(stream);
             continue;
         }
-        StationStats::add(&stats.sessions_opened, 1);
-        StationStats::add(&stats.sessions_active, 1);
         let session_stats = Arc::clone(stats);
         let session_limits = limits.clone();
         // Detached: the session ends when its client disconnects or

@@ -110,7 +110,21 @@ pub(crate) fn run_session(stream: TcpStream, stats: Arc<StationStats>, limits: &
     let _ = stream.set_read_timeout(limits.read_timeout);
     let writer_stream = match stream.try_clone() {
         Ok(s) => s,
-        Err(_) => return,
+        Err(e) => {
+            // No writer thread can exist; tell the client why the session
+            // is dying (best-effort, straight on the reader socket) —
+            // this is the one condition that is the station's fault, not
+            // the client's, hence `Internal` rather than `BadRequest`.
+            let mut stream = stream;
+            let _ = write_message(
+                &mut stream,
+                &Message::ErrorReply {
+                    code: ErrorCode::Internal,
+                    message: format!("cannot split session socket: {e}"),
+                },
+            );
+            return;
+        }
     };
     let (tx, rx) = sync_channel::<Message>(limits.queue_depth.max(1));
     let writer_stats = Arc::clone(&stats);
