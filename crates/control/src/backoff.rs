@@ -1,0 +1,66 @@
+//! Deterministic exponential backoff for transport retries.
+
+/// An exponential backoff schedule: attempt `n` waits
+/// `min(base_ms * factor^n, max_ms)` milliseconds. Pure arithmetic —
+/// no clocks, no jitter — so retry traces replay bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Multiplier applied per attempt.
+    pub factor: u32,
+    /// Ceiling on any single delay, in milliseconds.
+    pub max_ms: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self {
+            base_ms: 10,
+            factor: 2,
+            max_ms: 1_000,
+        }
+    }
+}
+
+impl Backoff {
+    /// The delay before retry number `attempt` (0-based), saturating at
+    /// `max_ms` on overflow.
+    #[must_use]
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let scaled = u64::from(self.factor)
+            .checked_pow(attempt)
+            .and_then(|scale| self.base_ms.checked_mul(scale));
+        match scaled {
+            Some(delay) => delay.min(self.max_ms),
+            None => self.max_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_up_to_the_ceiling() {
+        let b = Backoff {
+            base_ms: 10,
+            factor: 2,
+            max_ms: 100,
+        };
+        let delays: Vec<u64> = (0..6).map(|n| b.delay_ms(n)).collect();
+        assert_eq!(delays, vec![10, 20, 40, 80, 100, 100]);
+    }
+
+    #[test]
+    fn overflow_saturates_at_the_ceiling() {
+        let b = Backoff {
+            base_ms: u64::MAX / 2,
+            factor: 3,
+            max_ms: 5_000,
+        };
+        assert_eq!(b.delay_ms(40), 5_000);
+        assert_eq!(b.delay_ms(u32::MAX), 5_000);
+    }
+}

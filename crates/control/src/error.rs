@@ -1,0 +1,48 @@
+//! Typed failures of the control loop.
+
+use bsa_station::ClientError;
+use std::fmt;
+
+/// Why the controller could not complete an operation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ControlError {
+    /// The station client failed in a way retries do not cover
+    /// (protocol violation, typed server error, unexpected reply).
+    Client(ClientError),
+    /// Every retry of a deadline-bounded request timed out.
+    Exhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A scenario or target was internally inconsistent (e.g. a DNA
+    /// target handed to a neuro observation path).
+    BadTarget(String),
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Client(err) => write!(f, "station client failure: {err}"),
+            Self::Exhausted { attempts } => {
+                write!(f, "request timed out on all {attempts} attempts")
+            }
+            Self::BadTarget(what) => write!(f, "bad control target: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Client(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClientError> for ControlError {
+    fn from(err: ClientError) -> Self {
+        Self::Client(err)
+    }
+}

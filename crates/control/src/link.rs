@@ -1,0 +1,175 @@
+//! The controller's edge to the instrument: a thin trait over the
+//! station client so the loop can be driven against a live loopback
+//! station in tests and against real deployments identically.
+//!
+//! This is where the determinism boundary sits. Everything behind
+//! [`ControlLink`] may touch sockets, deadlines and wall-clock pauses;
+//! everything in front of it (classifier, policy, trace) is pure.
+
+use bsa_link::{
+    ChipId, CultureSpec, DnaChipSpec, FaultPlanSpec, NeuroChipSpec, TargetSpec, YieldSummary,
+};
+use bsa_station::{
+    AssayOutcome, AttachedChip, CalibrationCounts, ClientError, NeuroStream, StationClient,
+};
+use bsa_units::Seconds;
+use std::thread;
+use std::time::Duration;
+
+/// Everything the controller needs from the instrument side.
+pub trait ControlLink {
+    /// Attaches a simulated neuro chip.
+    ///
+    /// # Errors
+    /// Transport or typed server failures.
+    fn attach_neuro(&mut self, spec: &NeuroChipSpec) -> Result<AttachedChip, ClientError>;
+
+    /// Attaches a simulated DNA chip.
+    ///
+    /// # Errors
+    /// Transport or typed server failures.
+    fn attach_dna(&mut self, spec: &DnaChipSpec) -> Result<AttachedChip, ClientError>;
+
+    /// Detaches a chip, releasing its handle.
+    ///
+    /// # Errors
+    /// Transport or typed server failures.
+    fn detach(&mut self, chip: ChipId) -> Result<(), ClientError>;
+
+    /// Spots probes / sets the sample mix on a DNA chip.
+    ///
+    /// # Errors
+    /// Transport or typed server failures.
+    fn configure_assay(
+        &mut self,
+        chip: ChipId,
+        probes: Vec<String>,
+        targets: Vec<TargetSpec>,
+    ) -> Result<(), ClientError>;
+
+    /// Runs auto-calibration.
+    ///
+    /// # Errors
+    /// Transport or typed server failures.
+    fn calibrate(&mut self, chip: ChipId) -> Result<CalibrationCounts, ClientError>;
+
+    /// Fetches the chip's yield report.
+    ///
+    /// # Errors
+    /// Transport or typed server failures.
+    fn health(&mut self, chip: ChipId) -> Result<YieldSummary, ClientError>;
+
+    /// Masks pixels for neighbor interpolation; returns the mask size
+    /// after the union.
+    ///
+    /// # Errors
+    /// Transport or typed server failures.
+    fn mask_pixels(&mut self, chip: ChipId, pixels: &[u32]) -> Result<u32, ClientError>;
+
+    /// Injects a compiled fault plan (scenario setup).
+    ///
+    /// # Errors
+    /// Transport or typed server failures.
+    fn inject_faults(&mut self, chip: ChipId, plan: FaultPlanSpec) -> Result<(), ClientError>;
+
+    /// Runs the configured assay and returns its counts.
+    ///
+    /// # Errors
+    /// Transport or typed server failures.
+    fn run_assay(&mut self, chip: ChipId) -> Result<AssayOutcome, ClientError>;
+
+    /// Streams `frames` frames from a neuro chip at a fixed logical
+    /// start time, so repeat windows are bit-exact.
+    ///
+    /// # Errors
+    /// Transport or typed server failures.
+    fn stream_frames(
+        &mut self,
+        chip: ChipId,
+        frames: u32,
+        culture: &CultureSpec,
+    ) -> Result<NeuroStream, ClientError>;
+
+    /// Sleeps for a backoff delay. The trait owns this so tests can
+    /// observe (or skip) pauses without touching a clock in the loop.
+    fn pause_ms(&mut self, delay_ms: u64);
+}
+
+/// [`ControlLink`] over a live [`StationClient`].
+#[derive(Debug)]
+pub struct StationLink {
+    client: StationClient,
+}
+
+impl StationLink {
+    /// Wraps a connected client.
+    #[must_use]
+    pub fn new(client: StationClient) -> Self {
+        Self { client }
+    }
+
+    /// The wrapped client, for protocol calls outside the trait.
+    pub fn client_mut(&mut self) -> &mut StationClient {
+        &mut self.client
+    }
+}
+
+impl ControlLink for StationLink {
+    fn attach_neuro(&mut self, spec: &NeuroChipSpec) -> Result<AttachedChip, ClientError> {
+        self.client.attach_neuro(spec)
+    }
+
+    fn attach_dna(&mut self, spec: &DnaChipSpec) -> Result<AttachedChip, ClientError> {
+        self.client.attach_dna(spec)
+    }
+
+    fn detach(&mut self, chip: ChipId) -> Result<(), ClientError> {
+        self.client.detach(chip)
+    }
+
+    fn configure_assay(
+        &mut self,
+        chip: ChipId,
+        probes: Vec<String>,
+        targets: Vec<TargetSpec>,
+    ) -> Result<(), ClientError> {
+        self.client.configure_assay(chip, probes, targets)
+    }
+
+    fn calibrate(&mut self, chip: ChipId) -> Result<CalibrationCounts, ClientError> {
+        self.client.calibrate(chip)
+    }
+
+    fn health(&mut self, chip: ChipId) -> Result<YieldSummary, ClientError> {
+        self.client.health(chip)
+    }
+
+    fn mask_pixels(&mut self, chip: ChipId, pixels: &[u32]) -> Result<u32, ClientError> {
+        self.client.mask_pixels(chip, pixels)
+    }
+
+    fn inject_faults(&mut self, chip: ChipId, plan: FaultPlanSpec) -> Result<(), ClientError> {
+        self.client.inject_faults(chip, plan)
+    }
+
+    fn run_assay(&mut self, chip: ChipId) -> Result<AssayOutcome, ClientError> {
+        self.client.run_assay(chip, false)
+    }
+
+    fn stream_frames(
+        &mut self,
+        chip: ChipId,
+        frames: u32,
+        culture: &CultureSpec,
+    ) -> Result<NeuroStream, ClientError> {
+        // Fixed t0: the chip model re-seeds per recording, so the same
+        // window replays bit-exactly and recovery is measurable against
+        // a stable reference.
+        self.client
+            .stream_neuro(chip, frames, 0, Seconds::new(0.0), culture)
+    }
+
+    fn pause_ms(&mut self, delay_ms: u64) {
+        thread::sleep(Duration::from_millis(delay_ms));
+    }
+}

@@ -43,4 +43,4 @@ mod kinds;
 mod plan;
 
 pub use kinds::{FaultClass, FaultKind, PixelFaults};
-pub use plan::{CompiledFaults, InjectionPlan, SerialCorruptor};
+pub use plan::{CompiledFaults, InjectionPlan, PlanTarget, SerialCorruptor};

@@ -17,6 +17,27 @@ enum Target {
     Global,
 }
 
+/// Public view of one planned entry's addressing, for callers that
+/// serialize or mirror a plan (e.g. onto the wire protocol) without
+/// access to the private builder state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanTarget {
+    /// A single pixel by (row, column).
+    Pixel {
+        /// Sensor row.
+        row: usize,
+        /// Sensor column.
+        col: usize,
+    },
+    /// A random subset of the array at the given pixel density.
+    ArrayWide {
+        /// Fraction of pixels affected, clamped to `[0, 1]`.
+        density: f64,
+    },
+    /// Array-independent (channel loss, serial link).
+    Global,
+}
+
 /// A composable, seedable description of which defects to inject.
 ///
 /// Build one with the fluent methods, then [`compile`](Self::compile) it
@@ -51,6 +72,19 @@ impl InjectionPlan {
     /// `true` if nothing has been planned.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// The planned entries in application order, as public
+    /// [`PlanTarget`]/[`FaultKind`] pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (PlanTarget, FaultKind)> + '_ {
+        self.entries.iter().map(|(target, kind)| {
+            let target = match *target {
+                Target::Pixel { row, col } => PlanTarget::Pixel { row, col },
+                Target::ArrayWide { density } => PlanTarget::ArrayWide { density },
+                Target::Global => PlanTarget::Global,
+            };
+            (target, *kind)
+        })
     }
 
     /// Injects `kind` at one pixel.
@@ -403,6 +437,26 @@ mod tests {
         let (word, flipped) = c.corrupt(0, 8);
         assert_eq!(word, 0xFF);
         assert_eq!(flipped, 8);
+    }
+
+    #[test]
+    fn entries_expose_the_planned_pairs_in_order() {
+        let plan = InjectionPlan::new(5)
+            .at(2, 3, FaultKind::DeadPixel)
+            .array_wide(0.25, FaultKind::ComparatorStuck { high: true })
+            .lose_channel(7);
+        let entries: Vec<_> = plan.entries().collect();
+        assert_eq!(
+            entries,
+            vec![
+                (PlanTarget::Pixel { row: 2, col: 3 }, FaultKind::DeadPixel),
+                (
+                    PlanTarget::ArrayWide { density: 0.25 },
+                    FaultKind::ComparatorStuck { high: true }
+                ),
+                (PlanTarget::Global, FaultKind::ChannelLoss { channel: 7 }),
+            ]
+        );
     }
 
     #[test]

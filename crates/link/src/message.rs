@@ -20,6 +20,7 @@
 //! | `Calibrate`          | `CalibrationDone`                          |
 //! | `InjectFaults`       | `Ack`                                      |
 //! | `QueryHealth`        | `HealthReport`                             |
+//! | `MaskPixels`         | `Masked`                                   |
 //! | `RunAssay`           | (`StreamData`* `StreamEnd`)? `AssayResult` |
 //! | `StartNeuroStream`   | `StreamData`* `StreamEnd`                  |
 //! | `QueryStats`         | `StatsReport`                              |
@@ -390,6 +391,22 @@ pub enum Message {
         /// The report.
         report: YieldSummary,
     },
+    /// Mark pixels unusable so streamed frames interpolate over them.
+    /// Indices are row-major (`row * cols + col`); repeated requests
+    /// union with the pixels already masked for the chip.
+    MaskPixels {
+        /// Chip handle.
+        chip: ChipId,
+        /// Row-major pixel indices to mask.
+        pixels: Vec<u32>,
+    },
+    /// Reply to `MaskPixels` with the mask size after the union.
+    Masked {
+        /// Chip handle.
+        chip: ChipId,
+        /// Total pixels masked for this chip after applying the request.
+        masked: u32,
+    },
     /// Run a DNA assay on the configured sample.
     RunAssay {
         /// DNA chip handle.
@@ -477,6 +494,8 @@ const TAG_QUERY_STATS: u8 = 0x15;
 const TAG_STATS_REPORT: u8 = 0x16;
 const TAG_ACK: u8 = 0x17;
 const TAG_ERROR_REPLY: u8 = 0x18;
+const TAG_MASK_PIXELS: u8 = 0x19;
+const TAG_MASKED: u8 = 0x1A;
 
 impl ChipKind {
     fn encode(self, w: &mut Writer) {
@@ -1004,6 +1023,19 @@ impl Message {
                 w.u32(*chip);
                 report.encode(&mut w);
             }
+            Self::MaskPixels { chip, pixels } => {
+                w.u8(TAG_MASK_PIXELS);
+                w.u32(*chip);
+                w.count(pixels.len());
+                for &p in pixels {
+                    w.u32(p);
+                }
+            }
+            Self::Masked { chip, masked } => {
+                w.u8(TAG_MASKED);
+                w.u32(*chip);
+                w.u32(*masked);
+            }
             Self::RunAssay {
                 chip,
                 stream_counts,
@@ -1133,6 +1165,19 @@ impl Message {
                 chip: r.u32()?,
                 report: YieldSummary::decode(&mut r)?,
             },
+            TAG_MASK_PIXELS => {
+                let chip = r.u32()?;
+                let n_pixels = r.count(4, "MaskPixels.pixels")?;
+                let mut pixels = Vec::with_capacity(n_pixels);
+                for _ in 0..n_pixels {
+                    pixels.push(r.u32()?);
+                }
+                Self::MaskPixels { chip, pixels }
+            }
+            TAG_MASKED => Self::Masked {
+                chip: r.u32()?,
+                masked: r.u32()?,
+            },
             TAG_RUN_ASSAY => Self::RunAssay {
                 chip: r.u32()?,
                 stream_counts: r.bool()?,
@@ -1218,6 +1263,11 @@ mod tests {
                 samples: vec![1.5, -0.25, 0.0, 3.25],
             },
         });
+        roundtrip(&Message::MaskPixels {
+            chip: 2,
+            pixels: vec![0, 17, 4095],
+        });
+        roundtrip(&Message::Masked { chip: 2, masked: 3 });
         roundtrip(&Message::InjectFaults {
             chip: 1,
             plan: FaultPlanSpec {

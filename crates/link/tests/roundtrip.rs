@@ -271,6 +271,9 @@ fn message() -> impl Strategy<Value = Message> {
         any::<u32>().prop_map(|chip| Message::QueryHealth { chip }),
         (any::<u32>(), yield_summary())
             .prop_map(|(chip, report)| Message::HealthReport { chip, report }),
+        (any::<u32>(), prop::collection::vec(any::<u32>(), 0..16))
+            .prop_map(|(chip, pixels)| Message::MaskPixels { chip, pixels }),
+        (any::<u32>(), any::<u32>()).prop_map(|(chip, masked)| Message::Masked { chip, masked }),
         (any::<u32>(), any::<bool>()).prop_map(|(chip, stream_counts)| Message::RunAssay {
             chip,
             stream_counts

@@ -29,6 +29,11 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Where the concurrency rules apply: the multi-threaded serving layer.
 pub const STATION_PREFIX: &str = "crates/station/src/";
 
+/// The recovery controller also gets the concurrency rules: it calls
+/// blocking link requests and backoff sleeps, and must never do so
+/// while holding a lock.
+pub const CONTROL_PREFIX: &str = "crates/control/src/";
+
 /// Atomic methods that carry an `Ordering` argument.
 const ATOMIC_METHODS: &[&str] = &[
     "load",

@@ -27,7 +27,12 @@ use std::collections::BTreeMap;
 
 /// Where `reach.panic` findings are reported: the crates whose public API
 /// the station and downstream analysis pipelines call into.
-const REPORT_PREFIXES: &[&str] = &["crates/core/src/", "crates/dsp/src/", "crates/link/src/"];
+const REPORT_PREFIXES: &[&str] = &[
+    "crates/core/src/",
+    "crates/dsp/src/",
+    "crates/link/src/",
+    "crates/control/src/",
+];
 
 /// Runs the reachability analysis over the whole workspace. `sources` and
 /// `parsed` must be index-aligned (one `ParsedFile` per `SourceFile`).

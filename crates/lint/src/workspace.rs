@@ -2,15 +2,17 @@
 //!
 //! Scope policy (see DESIGN.md §9):
 //!
-//! * **determinism** (`det.*`) — `crates/core/src`, `crates/dsp/src`
-//!   and `crates/link/src`: the scan/readout and signal-processing
-//!   paths whose bit-identical replay PR 2 guarantees, plus the wire
-//!   codec (a codec that consulted clocks or random state could not be
-//!   a pure function of its bytes). `crates/station` is deliberately
-//!   *not* in `det.*` scope: it is the serving layer, where wall-clock
-//!   time is legitimate (session read timeouts, socket lifecycle) —
-//!   the determinism boundary sits at the chip API it calls into (see
-//!   DESIGN.md §10).
+//! * **determinism** (`det.*`) — `crates/core/src`, `crates/dsp/src`,
+//!   `crates/link/src` and `crates/control/src`: the scan/readout and
+//!   signal-processing paths whose bit-identical replay PR 2
+//!   guarantees, the wire codec (a codec that consulted clocks or
+//!   random state could not be a pure function of its bytes), and the
+//!   recovery controller, whose action traces must replay
+//!   bit-identically from a scenario seed (DESIGN.md §12).
+//!   `crates/station` is deliberately *not* in `det.*` scope: it is
+//!   the serving layer, where wall-clock time is legitimate (session
+//!   read timeouts, socket lifecycle) — the determinism boundary sits
+//!   at the chip API it calls into (see DESIGN.md §10).
 //! * **panic-freedom** (`panic.*`) — every library crate's `src/`,
 //!   including this one. `crates/bench` is excluded: it is a binary
 //!   harness where `unwrap` on startup is idiomatic.
@@ -19,7 +21,7 @@
 //!   and this crate (which has no physical API surface).
 
 use crate::allow::Allowlist;
-use crate::conc::{conc_pass, STATION_PREFIX};
+use crate::conc::{conc_pass, CONTROL_PREFIX, STATION_PREFIX};
 use crate::lexer::{lex, strip_test_code, Token};
 use crate::parser::{parse_file, ParsedFile};
 use crate::proto::{proto_pass, ProtoConfig, ProtoSummary};
@@ -54,7 +56,10 @@ pub fn rules_for(rel_path: &str) -> RuleSet {
         return RuleSet::NONE;
     }
     RuleSet {
-        determinism: in_crate_src("core") || in_crate_src("dsp") || in_crate_src("link"),
+        determinism: in_crate_src("core")
+            || in_crate_src("dsp")
+            || in_crate_src("link")
+            || in_crate_src("control"),
         panic_freedom: true,
         unit_safety: !in_crate_src("units") && !in_crate_src("lint"),
     }
@@ -152,6 +157,7 @@ pub fn check_sources(sources: &[SourceFile], allow: &Allowlist) -> (Vec<Violatio
     reach_pass(sources, &parsed, allow, &mut all);
     let summary = proto_pass(sources, &parsed, &ProtoConfig::WORKSPACE, &mut all);
     conc_pass(sources, &parsed, STATION_PREFIX, &mut all);
+    conc_pass(sources, &parsed, CONTROL_PREFIX, &mut all);
     all.sort_by(|a, b| (a.file.clone(), a.line, a.rule).cmp(&(b.file.clone(), b.line, b.rule)));
     (all, summary)
 }
@@ -194,6 +200,11 @@ mod tests {
         // still must not panic and must keep units typed.
         let station = rules_for("crates/station/src/server.rs");
         assert!(!station.determinism && station.panic_freedom && station.unit_safety);
+
+        // The recovery controller replays bit-identically from a seed:
+        // full determinism scope on top of panic freedom and units.
+        let control = rules_for("crates/control/src/policy.rs");
+        assert!(control.determinism && control.panic_freedom && control.unit_safety);
 
         assert!(!rules_for("crates/bench/src/bin/exp_f2.rs").any());
         assert!(!rules_for("crates/core/tests/integration.rs").any());

@@ -9,7 +9,9 @@ use bsa_link::{
 };
 use bsa_units::Seconds;
 use std::fmt;
+use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -17,6 +19,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 pub enum ClientError {
     /// Transport or decode failure.
     Protocol(ProtocolError),
+    /// A connect or request deadline elapsed before the station answered.
+    Timeout,
     /// The station answered with an `ErrorReply`.
     Server {
         /// Error class reported by the station.
@@ -37,6 +41,7 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Protocol(err) => write!(f, "protocol failure: {err}"),
+            Self::Timeout => write!(f, "request deadline elapsed"),
             Self::Server { code, message } => write!(f, "station error ({code:?}): {message}"),
             Self::Unexpected { expected, got } => {
                 write!(f, "expected {expected}, station sent {got}")
@@ -56,13 +61,44 @@ impl std::error::Error for ClientError {
 
 impl From<ProtocolError> for ClientError {
     fn from(err: ProtocolError) -> Self {
-        Self::Protocol(err)
+        match err {
+            // Socket deadlines surface as WouldBlock (unix) or TimedOut
+            // (windows / connect_timeout): both mean the station missed
+            // the per-request deadline, not that the protocol broke.
+            ProtocolError::Io(io)
+                if matches!(
+                    io.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Self::Timeout
+            }
+            err => Self::Protocol(err),
+        }
     }
 }
 
-impl From<std::io::Error> for ClientError {
-    fn from(err: std::io::Error) -> Self {
-        Self::Protocol(ProtocolError::Io(err))
+impl From<io::Error> for ClientError {
+    fn from(err: io::Error) -> Self {
+        Self::from(ProtocolError::Io(err))
+    }
+}
+
+/// Connection and per-request deadlines for a [`StationClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect deadline; `None` blocks until the OS gives up.
+    pub connect_timeout: Option<Duration>,
+    /// Read/write deadline per request; `None` waits forever.
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Some(Duration::from_secs(5)),
+            io_timeout: Some(Duration::from_secs(30)),
+        }
     }
 }
 
@@ -129,14 +165,34 @@ pub struct StationClient {
 }
 
 impl StationClient {
-    /// Connects and performs the `Hello`/`HelloAck` handshake.
+    /// Connects and performs the `Hello`/`HelloAck` handshake with the
+    /// default deadlines ([`ClientConfig::default`]), so a dead station
+    /// yields [`ClientError::Timeout`] instead of blocking forever.
     ///
     /// # Errors
     ///
     /// Connection failures and handshake protocol violations.
     pub fn connect<A: ToSocketAddrs>(addr: A, identity: &str) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, identity, &ClientConfig::default())
+    }
+
+    /// Connects with explicit deadlines. The connect deadline applies to
+    /// each resolved address in turn; the I/O deadline is armed on the
+    /// socket for every subsequent request.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, elapsed deadlines ([`ClientError::Timeout`])
+    /// and handshake protocol violations.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        identity: &str,
+        config: &ClientConfig,
+    ) -> Result<Self, ClientError> {
+        let stream = connect_stream(addr, config.connect_timeout)?;
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(config.io_timeout)?;
+        stream.set_write_timeout(config.io_timeout)?;
         let mut client = Self { stream };
         match client.roundtrip(&Message::Hello {
             client: identity.to_string(),
@@ -280,6 +336,24 @@ impl StationClient {
         match self.roundtrip(&Message::InjectFaults { chip, plan })? {
             Message::Ack => Ok(()),
             other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// Masks pixels on a chip so streamed frames are repaired by
+    /// neighbor interpolation. Indices are row-major; repeated calls
+    /// union. Returns the total mask size after applying.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range indices / unknown handles surface as
+    /// [`ClientError::Server`].
+    pub fn mask_pixels(&mut self, chip: ChipId, pixels: &[u32]) -> Result<u32, ClientError> {
+        match self.roundtrip(&Message::MaskPixels {
+            chip,
+            pixels: pixels.to_vec(),
+        })? {
+            Message::Masked { masked, .. } => Ok(masked),
+            other => Err(unexpected("Masked", &other)),
         }
     }
 
@@ -439,4 +513,24 @@ fn unexpected(expected: &'static str, got: &Message) -> ClientError {
         expected,
         got: format!("{got:?}"),
     }
+}
+
+/// Resolves `addr` and tries each candidate under the connect deadline.
+fn connect_stream<A: ToSocketAddrs>(
+    addr: A,
+    timeout: Option<Duration>,
+) -> Result<TcpStream, io::Error> {
+    let Some(timeout) = timeout else {
+        return TcpStream::connect(addr);
+    };
+    let mut last: Option<io::Error> = None;
+    for candidate in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&candidate, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(err) => last = Some(err),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "no socket addresses resolved")
+    }))
 }

@@ -12,9 +12,9 @@ use crate::session::{run_session, SessionLimits};
 use crate::stats::StationStats;
 use bsa_link::{write_message, ErrorCode, Message, StatsSnapshot};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -61,18 +61,21 @@ impl Station {
         let addr = listener.local_addr()?;
         let stats = Arc::new(StationStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let sessions = Arc::new(SessionTable::default());
         let limits = SessionLimits {
             queue_depth: config.queue_depth,
             read_timeout: config.read_timeout,
         };
         let accept_stats = Arc::clone(&stats);
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_sessions = Arc::clone(&sessions);
         let max_sessions = config.max_sessions;
         let accept = thread::spawn(move || {
             accept_loop(
                 &listener,
                 &accept_stats,
                 &accept_shutdown,
+                &accept_sessions,
                 &limits,
                 max_sessions,
             );
@@ -81,8 +84,41 @@ impl Station {
             addr,
             stats,
             shutdown,
+            sessions,
             accept: Some(accept),
         })
+    }
+}
+
+/// Read halves of every live session socket, keyed by a monotonically
+/// increasing id. The accept loop registers a clone before spawning the
+/// session thread; the session thread deregisters on exit (reaping the
+/// entry alongside its `sessions_active` slot), and shutdown drains the
+/// table to unblock in-flight readers.
+#[derive(Debug, Default)]
+struct SessionTable {
+    inner: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+impl SessionTable {
+    fn insert(&self, id: u64, stream: TcpStream) {
+        let mut table = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        table.push((id, stream));
+    }
+
+    fn remove(&self, id: u64) {
+        let mut table = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        table.retain(|(sid, _)| *sid != id);
+    }
+
+    /// Takes every registered socket, leaving the table empty. The lock
+    /// is released before the caller touches any socket.
+    fn take_all(&self) -> Vec<TcpStream> {
+        let mut table = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *table)
+            .into_iter()
+            .map(|(_, stream)| stream)
+            .collect()
     }
 }
 
@@ -90,9 +126,11 @@ fn accept_loop(
     listener: &TcpListener,
     stats: &Arc<StationStats>,
     shutdown: &Arc<AtomicBool>,
+    sessions: &Arc<SessionTable>,
     limits: &SessionLimits,
     max_sessions: u64,
 ) {
+    let mut next_session: u64 = 0;
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -108,12 +146,21 @@ fn accept_loop(
             refuse(stream);
             continue;
         }
+        let session_id = next_session;
+        next_session = next_session.wrapping_add(1);
+        if let Ok(clone) = stream.try_clone() {
+            sessions.insert(session_id, clone);
+        }
         let session_stats = Arc::clone(stats);
+        let session_sessions = Arc::clone(sessions);
         let session_limits = limits.clone();
-        // Detached: the session ends when its client disconnects or
-        // times out; shutdown closes the listener, not live sessions.
+        // Detached: the session ends when its client disconnects or its
+        // read timeout reaps it; exit frees both the admission slot and
+        // the socket-table entry. Shutdown closes the registered read
+        // halves, so live sessions wind down too.
         thread::spawn(move || {
             run_session(stream, Arc::clone(&session_stats), &session_limits);
+            session_sessions.remove(session_id);
             StationStats::sub(&session_stats.sessions_active, 1);
         });
     }
@@ -131,12 +178,15 @@ fn refuse(mut stream: TcpStream) {
 }
 
 /// Owner handle for a running station. Dropping it shuts the accept
-/// loop down (live sessions run until their clients disconnect).
+/// loop down and closes the read half of every live session socket:
+/// an in-flight request (including a stream and its `StreamEnd`) still
+/// completes, then the session observes EOF and winds down.
 #[derive(Debug)]
 pub struct StationHandle {
     addr: SocketAddr,
     stats: Arc<StationStats>,
     shutdown: Arc<AtomicBool>,
+    sessions: Arc<SessionTable>,
     accept: Option<JoinHandle<()>>,
 }
 
@@ -162,7 +212,11 @@ impl StationHandle {
         }
     }
 
-    /// Stops accepting new connections and joins the accept thread.
+    /// Stops accepting new connections, joins the accept thread, and
+    /// closes the read half of every live session socket. A session busy
+    /// serving a request finishes it — queued stream chunks and the
+    /// `StreamEnd` marker still reach the client — then reads EOF and
+    /// exits; an idle session wakes from its blocking read immediately.
     pub fn shutdown(mut self) {
         self.stop_accepting();
     }
@@ -174,6 +228,12 @@ impl StationHandle {
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        // With the accept loop joined, no new sessions can register:
+        // drain the table and deliver EOF to each reader. Writes stay
+        // open so sessions can flush their outbound queues first.
+        for stream in self.sessions.take_all() {
+            let _ = stream.shutdown(Shutdown::Read);
         }
     }
 }

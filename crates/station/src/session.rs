@@ -21,12 +21,14 @@ use crate::stats::StationStats;
 use bsa_core::dna_chip::{DnaChip, SampleMix};
 use bsa_core::health::PixelHealth;
 use bsa_core::neuro_chip::NeuroChip;
+use bsa_dsp::masking::PixelMask;
 use bsa_electrochem::sequence::DnaSequence;
 use bsa_link::{
     read_message, write_message, ChipId, ChipKind, ErrorCode, Message, PixelCount, ProtocolError,
     StreamPayload, PROTOCOL_VERSION,
 };
 use bsa_units::{Molar, Seconds};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::TcpStream;
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -145,6 +147,7 @@ pub(crate) fn run_session(stream: TcpStream, stats: Arc<StationStats>, limits: &
 
     let mut session = Session {
         registry: Registry::default(),
+        masks: BTreeMap::new(),
         out: Outbound {
             tx,
             stats: Arc::clone(&stats),
@@ -179,6 +182,11 @@ pub(crate) fn run_session(stream: TcpStream, stats: Arc<StationStats>, limits: &
 
 struct Session {
     registry: Registry,
+    /// Client-masked pixels per chip (row-major indices). Neuro stream
+    /// chunks are repaired over this mask by neighbor interpolation
+    /// before they are queued; an empty/absent mask leaves the stream
+    /// path bit-identical to an unmasked session.
+    masks: BTreeMap<ChipId, BTreeSet<u32>>,
     out: Outbound,
     stats: Arc<StationStats>,
 }
@@ -202,6 +210,7 @@ impl Session {
             }
             Message::Detach { chip } => {
                 let reply = if self.registry.detach(chip) {
+                    self.masks.remove(&chip);
                     Message::Detached { chip }
                 } else {
                     error_reply(ErrorCode::UnknownChip, format!("no chip {chip}"))
@@ -226,6 +235,10 @@ impl Session {
             }
             Message::QueryHealth { chip } => {
                 let reply = self.query_health(chip);
+                self.out.send_control(reply)
+            }
+            Message::MaskPixels { chip, pixels } => {
+                let reply = self.mask_pixels(chip, &pixels);
                 self.out.send_control(reply)
             }
             Message::RunAssay {
@@ -395,6 +408,26 @@ impl Session {
         }
     }
 
+    fn mask_pixels(&mut self, id: ChipId, pixels: &[u32]) -> Message {
+        let len = match self.registry.get_mut(id) {
+            Some(Chip::Dna { chip, .. }) => chip.geometry().len(),
+            Some(Chip::Neuro(chip)) => chip.config().geometry.len(),
+            None => return error_reply(ErrorCode::UnknownChip, format!("no chip {id}")),
+        };
+        if let Some(&bad) = pixels.iter().find(|&&p| p as usize >= len) {
+            return error_reply(
+                ErrorCode::BadRequest,
+                format!("pixel {bad} out of range (array has {len} pixels)"),
+            );
+        }
+        let mask = self.masks.entry(id).or_default();
+        mask.extend(pixels.iter().copied());
+        Message::Masked {
+            chip: id,
+            masked: mask.len() as u32,
+        }
+    }
+
     fn query_health(&mut self, id: ChipId) -> Message {
         match self.registry.get_mut(id) {
             Some(Chip::Dna { chip, .. }) => Message::HealthReport {
@@ -505,6 +538,15 @@ impl Session {
         };
         let g = chip.config().geometry;
         let (rows, cols) = (g.rows() as u16, g.cols() as u16);
+        let mask = self.masks.get(&id).filter(|m| !m.is_empty()).map(|m| {
+            let mut usable = vec![true; g.len()];
+            for &p in m {
+                if let Some(slot) = usable.get_mut(p as usize) {
+                    *slot = false;
+                }
+            }
+            PixelMask::new(g.rows(), g.cols(), usable)
+        });
         let culture = culture_from_spec(culture_spec);
         // One record() call for the whole stream: the chip re-seeds its
         // deterministic RNG streams at the start of every record(), so
@@ -518,7 +560,13 @@ impl Session {
             let n = chunk_frames.len() as u32;
             let mut samples = Vec::with_capacity(chunk_frames.len() * g.len());
             for frame in chunk_frames {
+                let start = samples.len();
                 samples.extend_from_slice(frame.samples());
+                if let Some(mask) = &mask {
+                    if let Some(copy) = samples.get_mut(start..) {
+                        let _ = mask.interpolate(copy);
+                    }
+                }
             }
             let msg = Message::StreamData {
                 chip: id,

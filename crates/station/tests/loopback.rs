@@ -303,3 +303,178 @@ fn server_replies_with_typed_errors() {
     let err = client.calibrate(attached.chip).unwrap_err();
     assert!(matches!(err, bsa_station::ClientError::Server { .. }));
 }
+
+/// Station shutdown mid-stream is graceful: the in-flight stream is
+/// delivered whole (no partial frame), `StreamEnd` arrives, and the
+/// next request fails with a typed error instead of hanging.
+#[test]
+fn shutdown_mid_stream_delivers_stream_end_then_typed_error() {
+    let station = start_station();
+    let addr = station.addr();
+
+    let mut client = TcpStream::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_message(
+        &mut client,
+        &Message::Hello {
+            client: "shutdown-victim".into(),
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        read_message(&mut client).unwrap(),
+        Message::HelloAck { .. }
+    ));
+    write_message(&mut client, &Message::AttachNeuro(neuro_spec(32, 32))).unwrap();
+    let chip = match read_message(&mut client).unwrap() {
+        Message::Attached { chip, .. } => chip,
+        other => panic!("expected Attached, got {other:?}"),
+    };
+    write_message(
+        &mut client,
+        &Message::StartNeuroStream {
+            chip,
+            frames: 64,
+            chunk_frames: 4,
+            t0_s: 0.0,
+            culture: culture_spec(64),
+        },
+    )
+    .unwrap();
+    // Take one chunk, then shut the station down under the stream.
+    let first = read_message(&mut client).unwrap();
+    assert!(matches!(first, Message::StreamData { .. }));
+    station.shutdown();
+
+    // The rest of the stream still arrives: whole frames only, then a
+    // clean StreamEnd.
+    let frame_len = 32usize * 32;
+    let mut samples_seen = match first {
+        Message::StreamData {
+            payload: bsa_link::StreamPayload::NeuroFrames { samples, .. },
+            ..
+        } => samples.len(),
+        _ => 0,
+    };
+    let (frames_sent, frames_dropped) = loop {
+        match read_message(&mut client).expect("stream continues past shutdown") {
+            Message::StreamData {
+                payload: bsa_link::StreamPayload::NeuroFrames { samples, .. },
+                ..
+            } => {
+                assert_eq!(
+                    samples.len() % frame_len,
+                    0,
+                    "chunk must contain whole frames"
+                );
+                samples_seen += samples.len();
+            }
+            Message::StreamEnd {
+                frames_sent,
+                frames_dropped,
+                ..
+            } => break (frames_sent, frames_dropped),
+            other => panic!("unexpected message {other:?}"),
+        }
+    };
+    assert_eq!(samples_seen, (frames_sent as usize) * frame_len);
+    assert_eq!(u64::from(frames_sent) + u64::from(frames_dropped), 64);
+
+    // The session's read half is gone: the next request errors (EOF or
+    // reset) within the client deadline — it does not hang.
+    write_message(&mut client, &Message::Ping { token: 7 }).ok();
+    assert!(
+        read_message(&mut client).is_err(),
+        "request after shutdown must fail with a typed error"
+    );
+}
+
+/// Idle sessions are reaped: with `max_sessions: 1` and a short server
+/// read timeout, an idle client is disconnected and its slot freed, so
+/// a second client gets admitted instead of an Overloaded refusal.
+#[test]
+fn idle_sessions_are_reaped_and_slots_freed() {
+    let station = Station::bind(StationConfig {
+        read_timeout: Some(Duration::from_millis(200)),
+        max_sessions: 1,
+        ..StationConfig::default()
+    })
+    .unwrap();
+    let addr = station.addr();
+
+    let mut first = StationClient::connect(addr, "idler").unwrap();
+    first.ping(1).unwrap();
+
+    // While the first session is live, the slot is taken.
+    let refused = StationClient::connect(addr, "refused");
+    assert!(
+        refused.is_err(),
+        "second session must be refused while busy"
+    );
+
+    // Go idle past the server read timeout; the reaper frees the slot.
+    std::thread::sleep(Duration::from_millis(600));
+    let mut second = StationClient::connect(addr, "admitted").unwrap();
+    second.ping(2).unwrap();
+
+    // The idle client was disconnected by the reap.
+    assert!(
+        first.ping(3).is_err(),
+        "reaped session must be disconnected"
+    );
+}
+
+/// Pixel masking round-trips: masked pixels are repaired by neighbor
+/// interpolation bit-identically to an in-process `PixelMask` repair of
+/// the same recording, and bad indices get a typed error.
+#[test]
+fn masked_stream_matches_in_process_repair() {
+    let station = start_station();
+    let mut client = StationClient::connect(station.addr(), "masker").unwrap();
+    let spec = neuro_spec(16, 16);
+    let culture = culture_spec(8);
+    let attached = client.attach_neuro(&spec).unwrap();
+
+    // Out-of-range index is rejected, session survives.
+    let err = client.mask_pixels(attached.chip, &[256]).unwrap_err();
+    assert!(matches!(err, bsa_station::ClientError::Server { .. }));
+
+    // Mask three pixels; repeated masking unions.
+    assert_eq!(client.mask_pixels(attached.chip, &[0, 17]).unwrap(), 2);
+    assert_eq!(client.mask_pixels(attached.chip, &[17, 40]).unwrap(), 3);
+
+    let stream = client
+        .stream_neuro(attached.chip, 8, 4, Seconds::new(0.0), &culture)
+        .unwrap();
+    assert_eq!(stream.frames.len(), 8);
+
+    // Reference: same recording, repaired in-process with the same mask.
+    let mut usable = vec![true; 256];
+    for idx in [0usize, 17, 40] {
+        usable[idx] = false;
+    }
+    let mask = bsa_dsp::masking::PixelMask::new(16, 16, usable);
+    let reference = reference_frames(&spec, &culture, 8);
+    for (served, reference) in stream.frames.iter().zip(reference.iter()) {
+        let mut repaired = reference.clone();
+        let _ = mask.interpolate(&mut repaired);
+        let served_bits: Vec<u64> = served.iter().map(|s| s.to_bits()).collect();
+        let repaired_bits: Vec<u64> = repaired.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(served_bits, repaired_bits);
+    }
+
+    // Detaching clears the mask: a fresh chip with the same spec streams
+    // the unmasked recording again.
+    client.detach(attached.chip).unwrap();
+    let fresh = client.attach_neuro(&spec).unwrap();
+    let unmasked = client
+        .stream_neuro(fresh.chip, 8, 4, Seconds::new(0.0), &culture)
+        .unwrap();
+    for (served, reference) in unmasked.frames.iter().zip(reference.iter()) {
+        let served_bits: Vec<u64> = served.iter().map(|s| s.to_bits()).collect();
+        let reference_bits: Vec<u64> = reference.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(served_bits, reference_bits);
+    }
+}

@@ -22,10 +22,13 @@
 //! * [`link`] — the versioned binary wire protocol (`bsa-link`).
 //! * [`station`] — the multi-chip TCP acquisition server and client
 //!   (`bsa-station`).
+//! * [`control`] — the closed-loop recovery controller that keeps a
+//!   faulted instrument producing usable data (`bsa-control`).
 
 #![forbid(unsafe_code)]
 
 pub use bsa_circuit as circuit;
+pub use bsa_control as control;
 pub use bsa_core as chips;
 pub use bsa_dsp as dsp;
 pub use bsa_electrochem as electrochem;
