@@ -232,29 +232,68 @@ impl Mosfet {
             // all voltages negated.
             Polarity::Pmos => (-vg.value(), -vs.value(), -vd.value()),
         };
-        let ut = thermal_voltage(self.params.temperature).value();
-        let n = self.params.slope_factor;
-        let vp = (vg - self.vth().value()) / n;
-
-        let i_f = ln1pexp((vp - vs) / (2.0 * ut)).powi(2);
-        let i_r = ln1pexp((vp - vd) / (2.0 * ut)).powi(2);
-
-        let i_spec = 2.0 * n * self.beta() * ut * ut;
-        let vds = vd - vs;
-        let clm = 1.0 + self.params.lambda * vds.max(0.0);
-        let channel = i_spec * (i_f - i_r) * clm;
-
-        let leak = self.params.leakage_floor.value() * self.params.aspect_ratio();
-        Ampere::new(channel + leak * sgn(vds))
+        Ampere::new(self.op_consts().current(vg, vs, vd))
     }
 
-    /// Gate transconductance g_m = ∂I_D/∂V_G at the given bias, computed by
-    /// symmetric numeric differentiation (robust in all inversion regions).
+    /// Precomputes the bias-independent model constants (threshold, slope
+    /// factor, specific current, leakage floor) so repeated evaluations —
+    /// the calibration solver's inner loop — skip the temperature
+    /// corrections (`powf`) hidden in [`Mosfet::beta`] and [`Mosfet::vth`].
+    fn op_consts(&self) -> OpConsts {
+        let ut = thermal_voltage(self.params.temperature).value();
+        let n = self.params.slope_factor;
+        OpConsts {
+            ut,
+            n,
+            vth: self.vth().value(),
+            i_spec: 2.0 * n * self.beta() * ut * ut,
+            lambda: self.params.lambda,
+            leak: self.params.leakage_floor.value() * self.params.aspect_ratio(),
+        }
+    }
+
+    /// Gate transconductance g_m = ∂I_D/∂V_G at the given bias, evaluated
+    /// analytically from the EKV formulation.
+    ///
+    /// With i_f,r = ln1pexp(x_f,r)² and x_f,r = (V_P − V_{S,D})/(2·U_T),
+    /// ∂i/∂V_G = ln1pexp(x)·σ(x)/(n·U_T) (σ is the logistic function, the
+    /// derivative of ln1pexp), so
+    ///
+    /// ```text
+    /// g_m = I_spec·CLM·(L(x_f)·σ(x_f) − L(x_r)·σ(x_r)) / (n·U_T)
+    /// ```
+    ///
+    /// The leakage floor has no V_G dependence and drops out. The PMOS
+    /// mirror negates all terminal voltages, so by the chain rule its g_m in
+    /// the shared positive-down driving convention is the negated mirrored
+    /// derivative — matching the sign the numeric difference produces.
+    ///
+    /// This is one transcendental pair instead of the two full
+    /// `drain_current` solves of symmetric numeric differentiation, and it
+    /// is exact (no truncation error) in every inversion region.
     pub fn gm(&self, vg: Volt, vs: Volt, vd: Volt) -> Siemens {
-        let dv = 1e-5;
-        let hi = self.drain_current(vg + Volt::new(dv), vs, vd);
-        let lo = self.drain_current(vg - Volt::new(dv), vs, vd);
-        Siemens::new((hi.value() - lo.value()) / (2.0 * dv))
+        let (vg, vs, vd, sign) = match self.params.polarity {
+            Polarity::Nmos => (vg.value(), vs.value(), vd.value(), 1.0),
+            Polarity::Pmos => (-vg.value(), -vs.value(), -vd.value(), -1.0),
+        };
+        Siemens::new(sign * self.op_consts().gm(vg, vs, vd))
+    }
+
+    /// Drain current and gate transconductance at one bias point, sharing
+    /// a single constants evaluation. Bitwise identical to calling
+    /// [`Mosfet::drain_current`] and [`Mosfet::gm`] separately; exists for
+    /// per-pixel hot paths (whole-array linearization) where the repeated
+    /// temperature corrections would dominate.
+    pub fn current_and_gm(&self, vg: Volt, vs: Volt, vd: Volt) -> (Ampere, Siemens) {
+        let (vg, vs, vd, sign) = match self.params.polarity {
+            Polarity::Nmos => (vg.value(), vs.value(), vd.value(), 1.0),
+            Polarity::Pmos => (-vg.value(), -vs.value(), -vd.value(), -1.0),
+        };
+        let c = self.op_consts();
+        (
+            Ampere::new(c.current(vg, vs, vd)),
+            Siemens::new(sign * c.gm(vg, vs, vd)),
+        )
     }
 
     /// Output conductance g_ds = ∂I_D/∂V_D at the given bias.
@@ -281,22 +320,128 @@ impl Mosfet {
         vg_lo: Volt,
         vg_hi: Volt,
     ) -> Option<Volt> {
-        let f = |vg: f64| self.drain_current(Volt::new(vg), vs, vd).value() - target.value();
-        let (mut lo, mut hi) = (vg_lo.value(), vg_hi.value());
+        // Work in the mirrored (NMOS) frame: for PMOS the gate axis flips
+        // sign along with the terminals, so the real-frame bracket
+        // [vg_lo, vg_hi] becomes [−vg_hi, −vg_lo].
+        let (sign, vs, vd, lo, hi) = match self.params.polarity {
+            Polarity::Nmos => (1.0, vs.value(), vd.value(), vg_lo.value(), vg_hi.value()),
+            Polarity::Pmos => (
+                -1.0,
+                -vs.value(),
+                -vd.value(),
+                -vg_hi.value(),
+                -vg_lo.value(),
+            ),
+        };
+        let c = self.op_consts();
+        let f = |vg: f64| c.current(vg, vs, vd) - target.value();
+        let (mut lo, mut hi) = (lo, hi);
         let (flo, fhi) = (f(lo), f(hi));
         if flo.signum() == fhi.signum() {
             return None;
         }
-        // 60 bisection steps: ~18 decimal digits over a 5 V range.
-        for _ in 0..60 {
-            let mid = 0.5 * (lo + hi);
-            if f(mid).signum() == flo.signum() {
-                lo = mid;
-            } else {
-                hi = mid;
+        // Safeguarded Newton: quadratic convergence from any seed inside the
+        // bracket (the EKV I_D is smooth and monotone in V_G), falling back
+        // to a bisection step whenever the Newton step leaves the bracket or
+        // the derivative is too flat (deep subthreshold against the leakage
+        // floor). Seeded with the closed-form saturation inverse, it
+        // converges in ~5 evaluations where plain bisection needed 60×:
+        // this is the inner loop of whole-array calibration.
+        let mut x = c
+            .gate_seed(target.value(), vs, vd)
+            .filter(|v| *v > lo && *v < hi)
+            .unwrap_or(0.5 * (lo + hi));
+        let mut fx = f(x);
+        for _ in 0..80 {
+            if fx == 0.0 || hi - lo <= f64::EPSILON * (1.0 + x.abs()) {
+                break;
             }
+            // Maintain the bracket around the root.
+            if fx.signum() == flo.signum() {
+                lo = x;
+            } else {
+                hi = x;
+            }
+            let g = c.gm(x, vs, vd);
+            let newton = x - fx / g;
+            // Accept Newton iterates on the bracket boundary (>=, <=): once
+            // converged, the root IS one of the endpoints, and rejecting it
+            // would degrade every remaining step to bisection.
+            let next = if g.abs() > 0.0 && newton >= lo && newton <= hi {
+                newton
+            } else {
+                0.5 * (lo + hi)
+            };
+            // Newton converges one-sided, so the bracket itself may never
+            // collapse: a vanishing step is the convergence signal.
+            if (next - x).abs() <= f64::EPSILON * (1.0 + x.abs()) {
+                x = next;
+                break;
+            }
+            x = next;
+            fx = f(x);
         }
-        Some(Volt::new(0.5 * (lo + hi)))
+        Some(Volt::new(sign * x))
+    }
+}
+
+/// Bias-independent EKV evaluation constants for one device instance, in
+/// the mirrored (NMOS) frame. Produced by [`Mosfet::op_consts`] so hot
+/// loops — the calibration gate solver above all — pay the temperature
+/// corrections once instead of per evaluation. The expressions below are
+/// kept term-for-term identical to the historical inline forms, so results
+/// are bitwise unchanged.
+#[derive(Debug, Clone, Copy)]
+struct OpConsts {
+    ut: f64,
+    n: f64,
+    vth: f64,
+    i_spec: f64,
+    lambda: f64,
+    leak: f64,
+}
+
+impl OpConsts {
+    /// EKV drain current (channel + leakage floor) at the given mirrored
+    /// terminal voltages, in amperes.
+    fn current(&self, vg: f64, vs: f64, vd: f64) -> f64 {
+        let vp = (vg - self.vth) / self.n;
+        let i_f = ln1pexp((vp - vs) / (2.0 * self.ut)).powi(2);
+        let i_r = ln1pexp((vp - vd) / (2.0 * self.ut)).powi(2);
+        let vds = vd - vs;
+        let clm = 1.0 + self.lambda * vds.max(0.0);
+        let channel = self.i_spec * (i_f - i_r) * clm;
+        channel + self.leak * sgn(vds)
+    }
+
+    /// Analytic gate transconductance ∂I_D/∂V_G in the mirrored frame.
+    fn gm(&self, vg: f64, vs: f64, vd: f64) -> f64 {
+        let vp = (vg - self.vth) / self.n;
+        let xf = (vp - vs) / (2.0 * self.ut);
+        let xr = (vp - vd) / (2.0 * self.ut);
+        let vds = vd - vs;
+        let clm = 1.0 + self.lambda * vds.max(0.0);
+        let slope = ln1pexp(xf) * logistic(xf) - ln1pexp(xr) * logistic(xr);
+        self.i_spec * clm * slope / (self.n * self.ut)
+    }
+
+    /// Closed-form gate-voltage estimate for a target drain current,
+    /// neglecting the reverse channel term (exact in saturation): inverts
+    /// `I = i_spec·clm·ln1pexp(x_f)² + leak` via `ln1pexp⁻¹(y) =
+    /// y + ln(1 − e⁻ʸ)`. Returns `None` when the leakage-corrected target
+    /// is non-positive (no forward-channel solution to seed from).
+    fn gate_seed(&self, target: f64, vs: f64, vd: f64) -> Option<f64> {
+        let vds = vd - vs;
+        let clm = 1.0 + self.lambda * vds.max(0.0);
+        let q = (target - self.leak * sgn(vds)) / (self.i_spec * clm);
+        if q.is_nan() || q <= 0.0 {
+            return None;
+        }
+        let y = q.sqrt();
+        let a = y + (-(-y).exp()).ln_1p();
+        let vp = vs + 2.0 * self.ut * a;
+        let vg = self.n * vp + self.vth;
+        vg.is_finite().then_some(vg)
     }
 }
 
@@ -308,6 +453,17 @@ fn ln1pexp(x: f64) -> f64 {
         x.exp()
     } else {
         x.exp().ln_1p()
+    }
+}
+
+/// Numerically stable logistic σ(x) = 1/(1 + e⁻ˣ), the derivative of
+/// [`ln1pexp`].
+fn logistic(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
     }
 }
 
@@ -418,6 +574,58 @@ mod tests {
         let expected = 1.0 / (m.params().slope_factor * ut);
         let got = gm.value() / id.value();
         assert!((got - expected).abs() / expected < 0.15, "gm/ID = {got}");
+    }
+
+    #[test]
+    fn analytic_gm_matches_numeric_differentiation() {
+        // The analytic transconductance must agree with a symmetric numeric
+        // difference of drain_current across weak, moderate, and strong
+        // inversion, in triode and saturation, for both polarities. The
+        // numeric truncation error is O(dv²·I'''), so agreement to ~1e-6
+        // relative (with an absolute floor deep in subthreshold where both
+        // are vanishingly small) bounds the analytic form tightly.
+        let devices = [
+            Mosfet::new(MosfetParams::n05um(10.0, 2.0)),
+            Mosfet::new(MosfetParams::n05um(3.0, 0.6)).with_mismatch(Volt::from_milli(12.0), 0.03),
+            Mosfet::new(MosfetParams::p05um(10.0, 2.0)),
+            Mosfet::new(MosfetParams::p05um(4.0, 1.0)).with_mismatch(Volt::from_milli(-8.0), -0.02),
+        ];
+        for m in &devices {
+            let mirror = match m.params().polarity {
+                Polarity::Nmos => 1.0,
+                Polarity::Pmos => -1.0,
+            };
+            for step in 0..=60 {
+                let vg = Volt::new(mirror * (step as f64 * 0.05));
+                for (vs, vd) in [
+                    (Volt::ZERO, Volt::new(mirror * 0.05)),
+                    (Volt::ZERO, Volt::new(mirror * 2.5)),
+                    (Volt::new(mirror * 0.2), Volt::new(mirror * 2.0)),
+                ] {
+                    let analytic = m.gm(vg, vs, vd).value();
+                    let dv = 1e-5;
+                    let hi = m.drain_current(vg + Volt::new(dv), vs, vd).value();
+                    let lo = m.drain_current(vg - Volt::new(dv), vs, vd).value();
+                    let numeric = (hi - lo) / (2.0 * dv);
+                    let tol = 1e-6 * numeric.abs().max(analytic.abs()) + 1e-15;
+                    assert!(
+                        (analytic - numeric).abs() <= tol,
+                        "gm mismatch at vg={vg} vs={vs} vd={vd}: \
+                         analytic={analytic:e} numeric={numeric:e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pmos_gm_sign_matches_numeric_convention() {
+        // In the shared positive-down convention a PMOS conducts less as
+        // V_G rises, so its gm is negative — the analytic form must keep
+        // the same sign the numeric difference had.
+        let p = Mosfet::new(MosfetParams::p05um(10.0, 2.0));
+        let gm = p.gm(Volt::new(-1.5), Volt::ZERO, Volt::new(-2.0));
+        assert!(gm.value() < 0.0, "gm = {gm:?}");
     }
 
     #[test]

@@ -9,18 +9,20 @@
 //! * **Shot** noise of electrode currents, S_i = 2qI.
 //!
 //! Time-domain generation is deterministic given an [`rand::Rng`] seed:
-//! Gaussian samples come from a Box–Muller transform and pink noise from a
-//! Voss–McCartney octave-bank generator.
+//! Gaussian samples come from a Marsaglia polar transform and pink noise
+//! from a Voss–McCartney octave-bank generator.
 
 use bsa_units::consts::{BOLTZMANN, ELEMENTARY_CHARGE};
 use bsa_units::{Ampere, Hertz, Kelvin, Seconds, Siemens};
 use rand::Rng;
 
-/// Box–Muller Gaussian sampler producing `N(0, 1)` variates.
+/// Marsaglia-polar Gaussian sampler producing `N(0, 1)` variates.
 ///
-/// Caches the second variate of each Box–Muller pair, so consecutive calls
-/// cost one transcendental pair per two samples.
-#[derive(Debug, Clone, Default)]
+/// Caches the second variate of each polar pair, so consecutive calls cost
+/// one `ln`/`sqrt` pair per two samples — and no trigonometry at all,
+/// which matters in the readout inner loop where this sampler runs once
+/// per pixel sample.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct GaussianSampler {
     spare: Option<f64>,
 }
@@ -36,13 +38,19 @@ impl GaussianSampler {
         if let Some(z) = self.spare.take() {
             return z;
         }
-        // Box–Muller: u1 in (0, 1] avoids ln(0).
-        let u1: f64 = 1.0 - rng.gen::<f64>();
-        let u2: f64 = rng.gen();
-        let r = (-2.0 * u1.ln()).sqrt();
-        let theta = 2.0 * std::f64::consts::PI * u2;
-        self.spare = Some(r * theta.sin());
-        r * theta.cos()
+        // Marsaglia polar: rejection-sample a point in the open unit disc
+        // (w = 0 would divide by zero, w ≥ 1 would flip the ln sign), then
+        // scale both coordinates into an independent Gaussian pair.
+        loop {
+            let x = 2.0 * rng.gen::<f64>() - 1.0;
+            let y = 2.0 * rng.gen::<f64>() - 1.0;
+            let w = x * x + y * y;
+            if w > 0.0 && w < 1.0 {
+                let s = (-2.0 * w.ln() / w).sqrt();
+                self.spare = Some(y * s);
+                return x * s;
+            }
+        }
     }
 }
 

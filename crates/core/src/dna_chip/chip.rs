@@ -424,6 +424,7 @@ impl DnaChip {
             n,
             ScanOptions {
                 threads: self.scan_threads,
+                ..ScanOptions::default()
             },
         );
 

@@ -42,4 +42,4 @@ pub mod scan;
 
 pub use error::ChipError;
 pub use health::{DegradationMode, HealthMonitor, PixelHealth, YieldReport};
-pub use scan::{ArenaStats, FrameArena, ScanOptions};
+pub use scan::{ArenaStats, FrameArena, ScanMode, ScanOptions};

@@ -123,6 +123,38 @@ pub struct ChannelChain {
     config: ChainConfig,
     /// Last multiplexed output current, for settling crosstalk.
     last_output: Ampere,
+    /// Persistent Box–Muller sampler: keeps the spare variate across
+    /// samples so noise costs one transcendental pair per two samples.
+    #[serde(default)]
+    noise: GaussianSampler,
+}
+
+/// Precomputed per-channel constants of the chain's sample recursion, used
+/// by the linearized fast path. Built by [`ChannelChain::linear_coeffs`]
+/// with exactly the arithmetic of [`ChannelChain::process_sample`], so a
+/// fast-path sample computed as
+///
+/// ```text
+/// target  = (i + sigma·z)·gain
+/// after_a = target + (last − target)·alpha_a
+/// out     = after_a + (last − after_a)·alpha_b
+/// y       = out·r
+/// ```
+///
+/// is bit-identical to the reference chain given the same input current
+/// and noise draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ChainCoeffs {
+    /// Total current gain through all four stages.
+    pub gain: f64,
+    /// Readout-amplifier settling factor exp(−dwell/τ_a).
+    pub alpha_a: f64,
+    /// Output-driver settling factor exp(−dwell/τ_b).
+    pub alpha_b: f64,
+    /// Transimpedance conversion resistance in ohms.
+    pub r: f64,
+    /// Input-referred noise RMS in amperes.
+    pub sigma: f64,
 }
 
 impl ChannelChain {
@@ -145,6 +177,7 @@ impl ChannelChain {
             second,
             config,
             last_output: Ampere::ZERO,
+            noise: GaussianSampler::new(),
         }
     }
 
@@ -187,8 +220,7 @@ impl ChannelChain {
     /// within the dwell time (leaving crosstalk from the previous pixel),
     /// adds input-referred noise, and converts to the output voltage.
     pub fn process_sample<R: Rng>(&mut self, i_diff: Ampere, dwell: Seconds, rng: &mut R) -> Volt {
-        let mut g = GaussianSampler::new();
-        let noisy_in = i_diff + self.config.input_noise * g.sample(rng);
+        let noisy_in = i_diff + self.config.input_noise * self.noise.sample(rng);
         let target = noisy_in * self.current_gain();
 
         // Two cascaded single-pole settles: readout amp then driver.
@@ -205,9 +237,31 @@ impl ChannelChain {
         out * self.config.conversion_resistance
     }
 
-    /// Resets the settling state (e.g. at a row boundary).
+    /// Resets the settling state (e.g. at a row boundary), discarding any
+    /// cached noise variate so the draw sequence restarts on a pair
+    /// boundary — this is what makes recordings a pure function of the
+    /// per-channel RNG stream regardless of prior chain use.
     pub fn reset_settling(&mut self) {
         self.last_output = Ampere::ZERO;
+        self.noise = GaussianSampler::new();
+    }
+
+    /// Precomputes the sample-recursion constants for the given dwell time.
+    ///
+    /// Each factor is produced by the same expression
+    /// [`ChannelChain::process_sample`] evaluates per sample, so the fast
+    /// path replicates the reference chain bit-for-bit.
+    pub(crate) fn linear_coeffs(&self, dwell: Seconds) -> ChainCoeffs {
+        let tau_a = self.readout.tau();
+        let tau_b =
+            Seconds::new(1.0 / (2.0 * std::f64::consts::PI * self.config.driver_bandwidth.value()));
+        ChainCoeffs {
+            gain: self.current_gain(),
+            alpha_a: (-dwell.value() / tau_a.value()).exp(),
+            alpha_b: (-dwell.value() / tau_b.value()).exp(),
+            r: self.config.conversion_resistance.value(),
+            sigma: self.config.input_noise.value(),
+        }
     }
 }
 

@@ -7,12 +7,15 @@
 //! — a rolling-shutter scan whose per-pixel timing this module reproduces.
 
 use super::chain::{ChainConfig, ChannelChain};
+use super::linear::{scan_chunk_linear, LinearState};
 use super::pixel::{NeuroPixel, NeuroPixelConfig};
 use super::scan::{clipped, scan_chunk, ScanPlan};
 use crate::array::{ArrayGeometry, PixelAddress};
 use crate::error::ChipError;
 use crate::health::{HealthMonitor, PixelHealth, SerialLinkStats, YieldReport};
-use crate::scan::{channel_stream_seed, resolve_threads, ArenaStats, FrameArena, ScanOptions};
+use crate::scan::{
+    channel_stream_seed, resolve_threads, ArenaStats, FrameArena, ScanMode, ScanOptions,
+};
 use bsa_faults::CompiledFaults;
 use bsa_neuro::culture::Culture;
 use bsa_units::{Hertz, Seconds, Siemens, Volt};
@@ -225,8 +228,9 @@ fn median(values: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    sorted[sorted.len() / 2]
+    let mid = sorted.len() / 2;
+    let (_, m, _) = sorted.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+    *m
 }
 
 /// A neural-recording chip instance (one die).
@@ -246,6 +250,10 @@ pub struct NeuroChip {
     stream_rngs: Vec<SmallRng>,
     /// Frame-buffer pool backing allocation-free steady-state recording.
     arena: FrameArena,
+    /// Linearized fast-path coefficient tables (SoA), invalidated whenever
+    /// calibration or fault state changes and rebuilt lazily at the next
+    /// fast-path chunk.
+    linear: LinearState,
 }
 
 impl NeuroChip {
@@ -285,6 +293,7 @@ impl NeuroChip {
             plan,
             stream_rngs,
             arena: FrameArena::new(),
+            linear: LinearState::default(),
             config,
         })
     }
@@ -335,7 +344,8 @@ impl NeuroChip {
             pixel.set_faults(f);
         }
         self.faults = faults.clone();
-        // Clip limits and lost channels are baked into the scan plan.
+        // Clip limits and lost channels are baked into the scan plan and
+        // the linearized tables.
         self.plan = ScanPlan::build(
             self.config.geometry,
             self.timing.row_period,
@@ -344,6 +354,7 @@ impl NeuroChip {
             &self.faults,
             &self.pixels,
         );
+        self.linear.invalidate();
         Ok(())
     }
 
@@ -379,6 +390,8 @@ impl NeuroChip {
         }
         self.self_test(now);
         self.calibrated = true;
+        // Operating points moved: the fast path must re-linearize.
+        self.linear.invalidate();
     }
 
     /// Classifies every pixel from a two-point capacitive self-test.
@@ -503,6 +516,7 @@ impl NeuroChip {
             p.clear_calibration();
         }
         self.calibrated = false;
+        self.linear.invalidate();
         self.scan_recording(culture, t0, frames, opts, false)
     }
 
@@ -536,6 +550,13 @@ impl NeuroChip {
             *rng = SmallRng::seed_from_u64(channel_stream_seed(self.config.seed, ch));
         }
 
+        let fast = opts.mode == ScanMode::Linearized;
+        if fast {
+            // Source lists depend only on geometry and culture positions:
+            // compile once per call, reuse for every chunk.
+            self.linear.compile_culture(&self.plan, culture);
+        }
+
         let mut out = Vec::with_capacity(frames);
         let mut last_cal = Seconds::new(f64::NEG_INFINITY);
         let mut frame_starts: Vec<f64> = Vec::with_capacity(MAX_CHUNK_FRAMES);
@@ -546,6 +567,18 @@ impl NeuroChip {
             if recalibrate && (chunk_t0 - last_cal.value()) >= interval {
                 self.calibrate(Seconds::new(chunk_t0));
                 last_cal = Seconds::new(chunk_t0);
+            }
+            if fast && !self.linear.is_fresh() {
+                // Re-linearize at the chunk start — for a recalibrating
+                // record this is exactly the calibration instant, so the
+                // expansion point matches the fresh operating points.
+                self.linear.rebuild(
+                    &self.plan,
+                    &self.pixels,
+                    &self.channels,
+                    timing.pixel_dwell,
+                    Seconds::new(chunk_t0),
+                );
             }
 
             // The chunk runs until the next recalibration would be due (or
@@ -568,17 +601,30 @@ impl NeuroChip {
             let mut stripe = std::mem::take(&mut self.arena.stripe);
             stripe.clear();
             stripe.resize(self.config.channels * chunk * frame_len, 0.0);
-            scan_chunk(
-                &self.plan,
-                &self.pixels,
-                &mut self.channels,
-                &mut self.stream_rngs,
-                culture,
-                timing.pixel_dwell,
-                &frame_starts,
-                &mut stripe,
-                threads,
-            );
+            if fast {
+                scan_chunk_linear(
+                    &self.plan,
+                    &mut self.linear,
+                    &mut self.stream_rngs,
+                    culture,
+                    &frame_starts,
+                    timing.frame_period,
+                    &mut stripe,
+                    threads,
+                );
+            } else {
+                scan_chunk(
+                    &self.plan,
+                    &self.pixels,
+                    &mut self.channels,
+                    &mut self.stream_rngs,
+                    culture,
+                    timing.pixel_dwell,
+                    &frame_starts,
+                    &mut stripe,
+                    threads,
+                );
+            }
 
             // Gather: each channel's slots within a row are a contiguous
             // run of columns (col = ch·cpc + slot), so the stripe unpacks
@@ -608,6 +654,34 @@ impl NeuroChip {
             frames: out,
             nominal_voltage_gain: nominal_gain,
         }
+    }
+
+    /// Rebuilds the linearized fast-path coefficient tables around the
+    /// operating point at `now`. Recording does this automatically at
+    /// every recalibration boundary; this entry point exists so stage
+    /// timings can be measured in isolation (and tables pre-warmed).
+    pub fn relinearize(&mut self, now: Seconds) {
+        self.linear.rebuild(
+            &self.plan,
+            &self.pixels,
+            &self.channels,
+            self.timing.pixel_dwell,
+            now,
+        );
+    }
+
+    /// Compiles the fast path's per-pixel culture source lists and returns
+    /// the total number of `(neuron, weight)` pairs retained. Recording
+    /// does this automatically once per call; this entry point exists for
+    /// stage timing and diagnostics.
+    pub fn compile_culture_sources(&mut self, culture: &Culture) -> usize {
+        self.linear.compile_culture(&self.plan, culture)
+    }
+
+    /// The worker-thread count `opts` resolves to on this die (the value
+    /// recorded by benchmarks instead of the `None` = "auto" request).
+    pub fn resolved_scan_threads(&self, opts: ScanOptions) -> usize {
+        resolve_threads(self.config.channels, opts)
     }
 
     /// Returns a finished recording's frame buffers to the arena so the

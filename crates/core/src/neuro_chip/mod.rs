@@ -11,11 +11,12 @@
 
 mod chain;
 mod frame;
+mod linear;
 mod pixel;
 mod scan;
 
 pub use chain::{ChainConfig, ChannelChain, GainStage};
 pub use frame::{Frame, NeuroChip, NeuroChipConfig, Recording, ScanTiming};
-pub use pixel::{NeuroPixel, NeuroPixelConfig};
+pub use pixel::{NeuroPixel, NeuroPixelConfig, PixelLinearization};
 
-pub use crate::scan::{channel_stream_seed, ArenaStats, FrameArena, ScanOptions};
+pub use crate::scan::{channel_stream_seed, ArenaStats, FrameArena, ScanMode, ScanOptions};

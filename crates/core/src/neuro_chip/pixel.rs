@@ -255,6 +255,64 @@ impl NeuroPixel {
             .gm(vg, self.config.v_source, self.config.v_drain)
             * self.config.coupling_ratio
     }
+
+    /// First-order expansion of [`NeuroPixel::read`] around the operating
+    /// point at `t_lin` (typically the last calibration instant):
+    ///
+    /// ```text
+    /// ΔI(v_cleft, t) ≈ offset + slope·(t − t_lin) + gm·v_cleft
+    /// ```
+    ///
+    /// `offset` is the exact residual difference current at zero signal
+    /// (including leakage faults), `slope` captures stored-gate droop
+    /// (−g_m(M1)·droop_rate for a calibrated pixel, zero on the
+    /// time-invariant global bias), and `gm` is the conversion gain. A dead
+    /// pixel returns all-zero coefficients, matching its exactly-zero read.
+    ///
+    /// Valid while |v_cleft| and the accumulated droop stay small against
+    /// n·U_T — see DESIGN.md §13 for the curvature bound and the
+    /// re-linearization cadence that keeps this true.
+    pub fn linearize(&self, t_lin: Seconds) -> PixelLinearization {
+        if self.faults.dead {
+            return PixelLinearization::DEAD;
+        }
+        let vg = self.effective_gate(t_lin);
+        let (i_m1, gm_gate) =
+            self.sensor
+                .current_and_gm(vg, self.config.v_source, self.config.v_drain);
+        let offset = i_m1 - self.cal_current_actual + self.faults.leakage;
+        let droop = if self.stored_gate.is_some() {
+            self.droop_rate
+        } else {
+            0.0
+        };
+        PixelLinearization {
+            offset,
+            slope_a_per_s: -gm_gate.value() * droop,
+            gm: gm_gate * self.config.coupling_ratio,
+        }
+    }
+}
+
+/// Per-pixel small-signal transfer coefficients produced by
+/// [`NeuroPixel::linearize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PixelLinearization {
+    /// Residual difference current at zero signal, at the expansion point.
+    pub offset: Ampere,
+    /// Drift of the residual in A/s from stored-gate droop.
+    pub slope_a_per_s: f64,
+    /// Conversion gain ∂ΔI/∂V_cleft at the expansion point.
+    pub gm: Siemens,
+}
+
+impl PixelLinearization {
+    /// The all-zero coefficients of a dead pixel.
+    pub const DEAD: Self = Self {
+        offset: Ampere::ZERO,
+        slope_a_per_s: 0.0,
+        gm: Siemens::ZERO,
+    };
 }
 
 #[cfg(test)]

@@ -43,6 +43,21 @@ pub fn conversion_stream_seed(die_seed: u64, epoch: u64, pixel: usize) -> u64 {
     )
 }
 
+/// Which evaluation path a neuro scan uses for the per-sample pixel
+/// current. Either way the output is bit-identical across thread counts;
+/// the two modes differ from each other only by the documented
+/// linearization tolerance (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Calibrated linearized fast path: per-pixel small-signal transfer
+    /// coefficients and precompiled culture source lists, re-linearized at
+    /// every recalibration boundary. The default.
+    #[default]
+    Linearized,
+    /// Full per-sample EKV circuit solve — the bit-exact reference path.
+    Reference,
+}
+
 /// Options controlling how a readout is fanned out over worker threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ScanOptions {
@@ -51,19 +66,40 @@ pub struct ScanOptions {
     /// Output is identical for every setting — per-stream RNGs make the
     /// scan scheduling-independent.
     pub threads: Option<usize>,
+    /// Evaluation path for neuro scans (DNA conversions ignore this).
+    pub mode: ScanMode,
 }
 
 impl ScanOptions {
     /// Options forcing fully serial execution.
     pub fn serial() -> Self {
-        Self { threads: Some(1) }
+        Self {
+            threads: Some(1),
+            mode: ScanMode::default(),
+        }
     }
 
     /// Options requesting a specific worker-thread count.
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: Some(threads.max(1)),
+            mode: ScanMode::default(),
         }
+    }
+
+    /// Options selecting the full-solve reference path (auto threads).
+    pub fn reference() -> Self {
+        Self {
+            threads: None,
+            mode: ScanMode::Reference,
+        }
+    }
+
+    /// Returns these options with the given evaluation mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ScanMode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 

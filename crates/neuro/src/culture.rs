@@ -13,6 +13,13 @@ use bsa_units::{Meter, Seconds, Volt};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Footprint weights below this threshold are treated as exactly zero:
+/// [`CulturedNeuron::cleft_voltage_at`] early-returns `Volt::ZERO` under it,
+/// and [`Culture::compile_sources`] prunes such `(neuron, weight)` pairs.
+/// Sharing one constant is what makes the pruned sum bit-identical to the
+/// full sum — every pruned contribution is exactly `+0.0`.
+pub const MIN_FOOTPRINT: f64 = 1e-6;
+
 /// A cultured neuron adhering to the chip surface.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CulturedNeuron {
@@ -50,16 +57,17 @@ impl CulturedNeuron {
         }
     }
 
-    /// Cleft voltage contributed by this neuron at position `(x, y)` and
-    /// time `t`, summing over its (recent) spikes.
-    pub fn cleft_voltage_at(&self, x: Meter, y: Meter, t: Seconds) -> Volt {
+    /// Footprint weight of this neuron at surface position `(x, y)` —
+    /// [`CulturedNeuron::footprint`] of the distance to the soma center.
+    pub fn footprint_at(&self, x: Meter, y: Meter) -> f64 {
         let dx = (x - self.x).value();
         let dy = (y - self.y).value();
-        let r = Meter::new((dx * dx + dy * dy).sqrt());
-        let w = self.footprint(r);
-        if w < 1e-6 {
-            return Volt::ZERO;
-        }
+        self.footprint(Meter::new((dx * dx + dy * dy).sqrt()))
+    }
+
+    /// Temporal junction waveform of this neuron at time `t` (the spatial
+    /// footprint factored out), summing over its (recent) spikes.
+    pub fn temporal_at(&self, t: Seconds) -> Volt {
         // Only spikes within the template window contribute; binary search
         // for the window start keeps this O(log n + k).
         let window = self.template.duration().value();
@@ -73,7 +81,82 @@ impl CulturedNeuron {
             }
             v += self.template.sample_at(rel);
         }
-        v * w
+        v
+    }
+
+    /// Whether any spike lies in the closed interval `[from, to]`.
+    ///
+    /// With `from`/`to` padded by the template duration around a frame this
+    /// is a conservative activity test: a neuron reported inactive is
+    /// guaranteed to contribute exactly zero to every sample of the frame.
+    pub fn active_in(&self, from: Seconds, to: Seconds) -> bool {
+        let i = self.spikes.partition_point(|s| s.value() < from.value());
+        self.spikes.get(i).is_some_and(|s| s.value() <= to.value())
+    }
+
+    /// Cleft voltage contributed by this neuron at position `(x, y)` and
+    /// time `t`, summing over its (recent) spikes.
+    pub fn cleft_voltage_at(&self, x: Meter, y: Meter, t: Seconds) -> Volt {
+        let w = self.footprint_at(x, y);
+        if w < MIN_FOOTPRINT {
+            return Volt::ZERO;
+        }
+        self.temporal_at(t) * w
+    }
+}
+
+/// One `(neuron, footprint_weight)` entry of a compiled source list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourcePair {
+    /// Index into [`Culture::neurons`].
+    pub neuron: u32,
+    /// Footprint weight at the compiled sample point (≥ [`MIN_FOOTPRINT`]).
+    pub weight: f64,
+}
+
+/// Per-point culture source lists in compressed sparse-row layout.
+///
+/// The `(neuron, weight)` pairs of [`CulturedNeuron::cleft_voltage_at`] are
+/// loop-invariant in position — only `t` varies during a scan — so a readout
+/// engine compiles them once per recording and collapses the per-sample
+/// culture sum from O(all neurons) to O(nearby neurons). Buffers are reused
+/// across [`Culture::compile_sources`] calls, so a warm table allocates
+/// nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SourceTable {
+    /// CSR offsets: `offsets.len() == points + 1`, pairs of point `p` live
+    /// at `pairs[offsets[p]..offsets[p+1]]`.
+    offsets: Vec<u32>,
+    pairs: Vec<SourcePair>,
+}
+
+impl SourceTable {
+    /// Number of compiled sample points.
+    pub fn points(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of `(neuron, weight)` pairs across all points.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The source list of sample point `point` (empty if out of range),
+    /// ordered by ascending neuron index.
+    pub fn sources(&self, point: usize) -> &[SourcePair] {
+        let lo = self.offsets.get(point).map_or(0, |&o| o as usize);
+        let hi = self.offsets.get(point + 1).map_or(lo, |&o| o as usize);
+        self.pairs.get(lo..hi).unwrap_or(&[])
+    }
+}
+
+impl CulturedNeuron {
+    /// Conservative activity padding for [`CulturedNeuron::active_in`]:
+    /// a spike can influence samples up to one template duration away on
+    /// either side (the template extends both before and after its
+    /// alignment point).
+    pub fn activity_padding(&self) -> Seconds {
+        self.template.duration()
     }
 }
 
@@ -216,6 +299,79 @@ impl Culture {
     pub fn total_spikes(&self) -> usize {
         self.neurons.iter().map(|n| n.spikes.len()).sum()
     }
+
+    /// Compiles per-point source lists for the given sample points into
+    /// `table`, reusing its buffers (a warm table allocates nothing).
+    ///
+    /// Each point's list holds every neuron whose footprint weight at that
+    /// point is at least [`MIN_FOOTPRINT`], in ascending neuron order, with
+    /// the weight already resolved. Evaluating a point's list with
+    /// [`Culture::cleft_voltage_from_sources`] is bit-identical to
+    /// [`Culture::cleft_voltage_at`]: the pruned neurons are exactly those
+    /// the full sum adds `+0.0` for, and IEEE-754 addition of `+0.0`
+    /// preserves every accumulator bit (the accumulator starts at `+0.0`
+    /// and can never become `-0.0`).
+    pub fn compile_sources<I>(&self, points: I, table: &mut SourceTable)
+    where
+        I: IntoIterator<Item = (Meter, Meter)>,
+    {
+        table.offsets.clear();
+        table.pairs.clear();
+        table.offsets.push(0);
+        // Conservative per-neuron cull radius: the footprint is monotone
+        // decreasing outside the soma, so beyond radius + σ·√(−2·ln MIN)
+        // it is strictly below MIN_FOOTPRINT and the exact test below
+        // could only reject. A squared-distance compare (with a relative
+        // safety margin against rounding) skips the sqrt/exp for the
+        // overwhelming majority of (point, neuron) pairs without changing
+        // a single emitted weight.
+        let cull: Vec<(f64, f64, f64)> = self
+            .neurons
+            .iter()
+            .map(|n| {
+                let radius = n.radius().value();
+                let cut =
+                    (radius + radius * 0.5 * (-2.0 * MIN_FOOTPRINT.ln()).sqrt()) * (1.0 + 1e-9);
+                (n.x.value(), n.y.value(), cut * cut)
+            })
+            .collect();
+        for (x, y) in points {
+            for ((idx, n), &(nx, ny, cut_sq)) in self.neurons.iter().enumerate().zip(&cull) {
+                let dx = x.value() - nx;
+                let dy = y.value() - ny;
+                if dx * dx + dy * dy > cut_sq {
+                    continue;
+                }
+                let w = n.footprint_at(x, y);
+                if w >= MIN_FOOTPRINT {
+                    table.pairs.push(SourcePair {
+                        neuron: idx as u32,
+                        weight: w,
+                    });
+                }
+            }
+            table.offsets.push(table.pairs.len() as u32);
+        }
+    }
+
+    /// Total cleft voltage at compiled sample point `point` and time `t`,
+    /// evaluated from the precompiled source lists. Bit-identical to
+    /// [`Culture::cleft_voltage_at`] at the position the point was compiled
+    /// from — see [`Culture::compile_sources`].
+    pub fn cleft_voltage_from_sources(
+        &self,
+        table: &SourceTable,
+        point: usize,
+        t: Seconds,
+    ) -> Volt {
+        let mut v = Volt::ZERO;
+        for pair in table.sources(point) {
+            if let Some(n) = self.neurons.get(pair.neuron as usize) {
+                v += n.temporal_at(t) * pair.weight;
+            }
+        }
+        v
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +471,60 @@ mod tests {
         c1.generate_spikes(Seconds::new(1.0), &mut r1);
         c2.generate_spikes(Seconds::new(1.0), &mut r2);
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn compiled_sources_are_bit_identical_to_full_sum() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut c = Culture::random(&CultureConfig::default(), &mut rng);
+        c.generate_spikes(Seconds::new(0.2), &mut rng);
+        let points: Vec<(Meter, Meter)> = (0..64)
+            .map(|k| {
+                (
+                    Meter::from_micro(7.8 * (k % 8) as f64 * 16.0),
+                    Meter::from_micro(7.8 * (k / 8) as f64 * 16.0),
+                )
+            })
+            .collect();
+        let mut table = SourceTable::default();
+        c.compile_sources(points.iter().copied(), &mut table);
+        assert_eq!(table.points(), points.len());
+        for (p, &(x, y)) in points.iter().enumerate() {
+            for step in 0..20 {
+                let t = Seconds::from_milli(step as f64 * 10.0);
+                let full = c.cleft_voltage_at(x, y, t);
+                let fast = c.cleft_voltage_from_sources(&table, p, t);
+                assert_eq!(
+                    full.value().to_bits(),
+                    fast.value().to_bits(),
+                    "divergence at point {p}, t {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn activity_window_is_conservative() {
+        // A neuron reported inactive over a padded window must contribute
+        // exactly zero at every instant inside the unpadded window.
+        let c = one_neuron_culture();
+        let n = &c.neurons()[0];
+        let pad = n.activity_padding();
+        for step in 0..200 {
+            let from = Seconds::from_milli(step as f64);
+            let to = from + Seconds::from_milli(1.0);
+            if !n.active_in(from - pad, to + pad) {
+                for sub in 0..10 {
+                    let t = from + Seconds::from_micro(100.0 * sub as f64);
+                    assert_eq!(n.temporal_at(t), Volt::ZERO, "t = {t}");
+                }
+            }
+        }
+        // Sanity: the window around the 50 ms spike does report active.
+        assert!(n.active_in(
+            Seconds::from_milli(50.0) - pad,
+            Seconds::from_milli(51.0) + pad
+        ));
     }
 
     #[test]
