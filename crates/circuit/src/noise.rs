@@ -177,9 +177,14 @@ impl PinkNoise {
     /// Next pink-noise sample.
     pub fn next_sample<R: Rng>(&mut self, rng: &mut R) -> f64 {
         self.counter = self.counter.wrapping_add(1);
-        // Row k updates every 2^k samples: trailing-zero trick.
+        // Row k updates every 2^k samples: trailing-zero trick. `rows` is
+        // nonempty by construction (`new` asserts `octaves >= 1`), so the
+        // clamp always lands on a row; `get_mut` keeps the method total
+        // without relying on that invariant from here.
         let k = (self.counter.trailing_zeros() as usize).min(self.rows.len() - 1);
-        self.rows[k] = self.gauss.sample(rng);
+        if let Some(row) = self.rows.get_mut(k) {
+            *row = self.gauss.sample(rng);
+        }
         let sum: f64 = self.rows.iter().sum();
         // Normalize: sum of n independent N(0,1) rows has σ = sqrt(n).
         self.rms * sum / (self.rows.len() as f64).sqrt()
@@ -312,6 +317,19 @@ mod tests {
         let p2 = band_power(64, 128);
         let ratio = p1 / p2;
         assert!(ratio > 0.4 && ratio < 2.5, "octave power ratio = {ratio}");
+    }
+
+    #[test]
+    fn pink_noise_single_octave_degenerates_to_white() {
+        // The minimum legal configuration: the row clamp lands on row 0
+        // for every sample, so the generator reduces to scaled white
+        // noise and must keep producing (regression for the row update
+        // going through `get_mut`).
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut p = PinkNoise::new(1, 2.0);
+        let v: Vec<f64> = (0..4096).map(|_| p.next_sample(&mut rng)).collect();
+        let (_, sd) = stats(&v);
+        assert!((sd - 2.0).abs() < 0.15, "sd = {sd}");
     }
 
     #[test]

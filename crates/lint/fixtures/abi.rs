@@ -1,0 +1,8 @@
+# Faux link.abi.lock for the proto.abi fixture (lock text, not Rust). //~ proto.abi
+# The test strips the expectation markers per line (keeping line numbers), presents
+# the rest as the lock, and checks it against a synthetic HEAD of three
+# encodings: Hello (absent here — its not-in-lock report pins to line 1,
+# the marker above), Ping (matches), Pong (drifted fnv below).
+Ping tag=0x02 len=3 fnv=00000000000000aa
+Pong tag=0x03 len=9 fnv=00000000000000bb //~ proto.abi
+Retired tag=0x7F len=4 fnv=0000000000000099 //~ proto.abi

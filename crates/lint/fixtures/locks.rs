@@ -1,0 +1,96 @@
+//! Seeded acquisition-order cycles for `conc.lock-order` (semantic lint
+//! fixture — lexed and parsed, never compiled).
+//!
+//! Each cycle is reported once, attributed to the provenance of the
+//! canonical cycle's first edge (the rotation starting at the
+//! lexicographically smallest node), so exactly one line per cycle
+//! carries a marker.
+
+pub struct Station {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+    gamma: Mutex<u32>,
+    delta: Mutex<u32>,
+    gate: Mutex<Vec<u32>>,
+    mu: Mutex<u32>,
+    nu: Mutex<u32>,
+    frames_tx: Sender<u32>,
+    frames_rx: Receiver<u32>,
+}
+
+impl Station {
+    // -- cycle 1: two fns take the same two locks in opposite orders.
+    // Canonical cycle [lock:alpha, lock:beta]; its first edge is the
+    // later acquisition in `forward`, so the marker lands there.
+
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock(); //~ conc.lock-order
+        drop((a, b));
+    }
+
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        drop((b, a));
+    }
+
+    // -- cycle 2: a lock held across a blocking send, and the receive
+    // end taking the same lock. Both channel endpoints alias to
+    // `chan:frames`; canonical cycle [chan:frames, lock:gate] puts the
+    // marker on the lock acquisition in `consume`.
+
+    pub fn publish(&self, v: u32) {
+        let g = self.gate.lock();
+        self.frames_tx.send(v);
+        drop(g);
+    }
+
+    pub fn consume(&self) -> u32 {
+        let v = self.frames_rx.recv();
+        let g = self.gate.lock(); //~ conc.lock-order
+        drop(g);
+        v
+    }
+
+    // -- cycle 3: the opposite order arises only through calls — each
+    // half acquires its second node inside a (uniquely named) callee.
+    // Canonical cycle [lock:mu, lock:nu]; the first edge comes from the
+    // call in `outer_mu_then_nu`.
+
+    pub fn outer_mu_then_nu(&self) {
+        let m = self.mu.lock();
+        self.take_nu(); //~ conc.lock-order
+        drop(m);
+    }
+
+    fn take_nu(&self) {
+        let n = self.nu.lock();
+        drop(n);
+    }
+
+    pub fn outer_nu_then_mu(&self) {
+        let n = self.nu.lock();
+        self.take_mu();
+        drop(n);
+    }
+
+    fn take_mu(&self) {
+        let m = self.mu.lock();
+        drop(m);
+    }
+
+    // -- consistent order everywhere: no cycle, no report.
+
+    pub fn ordered_one(&self) {
+        let g = self.gamma.lock();
+        let d = self.delta.lock();
+        drop((g, d));
+    }
+
+    pub fn ordered_two(&self) {
+        let g = self.gamma.lock();
+        let d = self.delta.lock();
+        drop((g, d));
+    }
+}

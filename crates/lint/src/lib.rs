@@ -19,7 +19,7 @@
 //!    than raw `f64` for dimensioned scalars, so a pA-vs-nA or Hz-vs-rad
 //!    mixup fails to compile instead of silently corrupting a readout.
 //!
-//! On top of the lexical passes sit three *semantic* families that need
+//! On top of the lexical passes sit the *semantic* families that need
 //! the whole workspace at once (DESIGN.md §11): a lightweight parser
 //! ([`parser`]) extracts fns, impls, enums and call sites; a cross-crate
 //! call graph then powers `reach.panic` (transitive panic reachability
@@ -28,14 +28,26 @@
 //! (atomic read-modify-write and lock discipline in the station,
 //! [`conc`]).
 //!
+//! The third layer is *dataflow* (DESIGN.md §14): an intraprocedural
+//! interval prover and unit inferencer ([`flow`]) that discharge proven
+//! `panic.indexing` sites and flag definite range/dimension bugs
+//! (`flow.range`, `flow.unit`); a global lock/channel acquisition-order
+//! cycle detector over the serving crates ([`locks`],
+//! `conc.lock-order`); and a golden wire-ABI lock ([`abi`],
+//! `proto.abi`) that fingerprints every canonical `Message` encoding
+//! into the committed `link.abi.lock`.
+//!
 //! Run it as `cargo run -p bsa-lint -- check` (add `--format json` for
 //! the CI artifact). The analyzer is dependency-free: it lexes Rust
 //! itself ([`lexer`]) instead of pulling in `syn`, so it keeps working in
 //! a bare offline checkout.
 
+pub mod abi;
 pub mod allow;
 pub mod conc;
+pub mod flow;
 pub mod lexer;
+pub mod locks;
 pub mod parser;
 pub mod proto;
 pub mod reach;
@@ -43,14 +55,20 @@ pub mod report;
 pub mod rules;
 pub mod workspace;
 
+pub use abi::{
+    abi_pass, canonical_entries, parse_lock, render_lock, AbiEntry, AbiSummary, LockState,
+    LOCK_FILE,
+};
 pub use allow::{reconcile, AllowEntry, Allowlist, Reconciliation};
 pub use conc::{conc_pass, STATION_PREFIX};
+pub use flow::{flow_pass, FileProofs};
+pub use locks::lock_order_pass;
 pub use parser::{parse_file, ParsedFile};
 pub use proto::{proto_pass, ProtoConfig, ProtoSummary};
-pub use reach::reach_pass;
+pub use reach::{reach_pass, ProvenLines};
 pub use report::{render_json, Report};
 pub use rules::{rule_description, run_rules, RuleSet, Violation, RULE_IDS};
 pub use workspace::{
-    check_file, check_sources, check_workspace, collect_files, load_sources, rules_for,
-    workspace_root, SourceFile,
+    check_file, check_sources, check_sources_full, check_workspace, collect_files, load_lock_state,
+    load_sources, rules_for, workspace_root, CheckOutcome, PassTimings, SourceFile,
 };

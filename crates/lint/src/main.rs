@@ -10,11 +10,15 @@
 //!                                    # this against the baseline)
 //! cargo run -p bsa-lint -- tighten  # rewrite lint.allow.toml budgets
 //!                                    # down to the actual counts
+//! cargo run -p bsa-lint -- abi regen  # refingerprint the wire ABI into
+//!                                      # link.abi.lock (review the diff!)
+//! cargo run -p bsa-lint -- abi show   # print the lock HEAD would produce
 //! ```
 
 use bsa_lint::{
-    allow, check_workspace, load_sources, render_json, rule_description, workspace_root, Allowlist,
-    ProtoSummary, Report, RULE_IDS,
+    allow, canonical_entries, check_workspace, load_lock_state, load_sources, render_json,
+    render_lock, rule_description, workspace_root, AbiSummary, Allowlist, PassTimings,
+    ProtoSummary, Report, LOCK_FILE, RULE_IDS,
 };
 use std::collections::BTreeMap;
 use std::fs;
@@ -30,6 +34,7 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(),
         Some("budget") => cmd_budget(),
         Some("tighten") => cmd_tighten(),
+        Some("abi") => cmd_abi(args.get(1).map(String::as_str)),
         Some("rules") => {
             for id in RULE_IDS {
                 println!("{id:<22} {}", rule_description(id));
@@ -40,7 +45,7 @@ fn main() -> ExitCode {
             let name = other.unwrap_or("<none>");
             eprintln!("bsa-lint: unknown command `{name}`");
             eprintln!(
-                "usage: cargo run -p bsa-lint -- <check|list|budget|tighten|rules> \
+                "usage: cargo run -p bsa-lint -- <check|list|budget|tighten|rules|abi> \
                  [--format json]"
             );
             ExitCode::from(2)
@@ -91,6 +96,37 @@ fn proto_line(p: &ProtoSummary) -> String {
     )
 }
 
+/// One-line ABI summary for the human-readable output.
+fn abi_line(abi: Option<&AbiSummary>) -> String {
+    match abi {
+        Some(a) if a.lock_present => {
+            format!(
+                "abi: {}/{} encodings match {LOCK_FILE}",
+                a.matched, a.variants
+            )
+        }
+        Some(_) => format!("abi: {LOCK_FILE} missing — run `abi regen`"),
+        None => "abi: pass skipped".to_string(),
+    }
+}
+
+/// One-line pass-timing summary for the human-readable output.
+fn timings_line(t: &PassTimings) -> String {
+    format!(
+        "timings: lexical {}ms, parse {}ms, flow {}ms, reach {}ms, proto {}ms, \
+         conc {}ms, lock-order {}ms, abi {}ms — total {}ms",
+        t.lexical_us / 1000,
+        t.parse_us / 1000,
+        t.flow_us / 1000,
+        t.reach_us / 1000,
+        t.proto_us / 1000,
+        t.conc_us / 1000,
+        t.lock_order_us / 1000,
+        t.abi_us / 1000,
+        t.total_us / 1000,
+    )
+}
+
 fn cmd_check(json: bool) -> ExitCode {
     let root = workspace_root();
     let allowlist = match load_allowlist(&root) {
@@ -107,8 +143,10 @@ fn cmd_check(json: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (violations, proto) = bsa_lint::check_sources(&sources, &allowlist);
-    let rec = allow::reconcile(&violations, &allowlist);
+    let lock = load_lock_state(&root);
+    let outcome = bsa_lint::check_sources_full(&sources, &allowlist, Some(&lock));
+    let (violations, proto) = (&outcome.violations, &outcome.proto);
+    let rec = allow::reconcile(violations, &allowlist);
 
     if json {
         print!(
@@ -118,7 +156,9 @@ fn cmd_check(json: bool) -> ExitCode {
                 violations_total: violations.len(),
                 rec: &rec,
                 allow: &allowlist,
-                proto: &proto,
+                proto,
+                abi: outcome.abi.as_ref(),
+                timings: &outcome.timings,
             })
         );
         return if rec.clean() {
@@ -139,7 +179,9 @@ fn cmd_check(json: bool) -> ExitCode {
         );
     }
 
-    println!("{}", proto_line(&proto));
+    println!("{}", proto_line(proto));
+    println!("{}", abi_line(outcome.abi.as_ref()));
+    println!("{}", timings_line(&outcome.timings));
     let allowed = violations.len() - rec.unallowed.len();
     if rec.clean() {
         println!(
@@ -170,19 +212,20 @@ fn cmd_list() -> ExitCode {
         }
     };
     match check_workspace(&root, &allowlist) {
-        Ok((violations, proto)) => {
-            for v in &violations {
+        Ok(outcome) => {
+            for v in &outcome.violations {
                 println!("{v}");
             }
             let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
-            for v in &violations {
+            for v in &outcome.violations {
                 *by_rule.entry(v.rule).or_default() += 1;
             }
-            println!("-- {} total", violations.len());
+            println!("-- {} total", outcome.violations.len());
             for (rule, n) in by_rule {
                 println!("--   {rule}: {n}");
             }
-            println!("-- {}", proto_line(&proto));
+            println!("-- {}", proto_line(&outcome.proto));
+            println!("-- {}", abi_line(outcome.abi.as_ref()));
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -206,6 +249,38 @@ fn cmd_budget() -> ExitCode {
     }
 }
 
+/// `abi regen` rewrites `link.abi.lock` from HEAD's encodings; `abi show`
+/// prints the same text without touching the file (for review/diffing).
+fn cmd_abi(sub: Option<&str>) -> ExitCode {
+    let rendered = render_lock(&canonical_entries());
+    match sub {
+        Some("regen") => {
+            let path = workspace_root().join(LOCK_FILE);
+            if let Err(e) = fs::write(&path, &rendered) {
+                eprintln!("bsa-lint: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "bsa-lint: wrote {LOCK_FILE} ({} encodings); review the diff like any \
+                 other wire-format change",
+                canonical_entries().len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some("show") => {
+            print!("{rendered}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!(
+                "bsa-lint: unknown abi subcommand `{}`; usage: abi <regen|show>",
+                other.unwrap_or("<none>")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn cmd_tighten() -> ExitCode {
     let root = workspace_root();
     let allowlist = match load_allowlist(&root) {
@@ -216,7 +291,7 @@ fn cmd_tighten() -> ExitCode {
         }
     };
     let violations = match check_workspace(&root, &allowlist) {
-        Ok((v, _)) => v,
+        Ok(outcome) => outcome.violations,
         Err(e) => {
             eprintln!("bsa-lint: {e}");
             return ExitCode::FAILURE;

@@ -38,6 +38,10 @@ pub struct FnItem {
     pub is_pub: bool,
     /// 1-based line of the function name.
     pub line: usize,
+    /// Token-index range of the signature: from the `fn` keyword up to
+    /// (excluding) the body's opening brace — name, generics, parameter
+    /// list, return type and where clause.
+    pub sig: Range<usize>,
     /// Token-index range of the body, including both braces.
     pub body: Range<usize>,
     /// Call sites inside the body (attributed to the innermost fn).
@@ -236,6 +240,7 @@ fn parse_fn(tokens: &[Token], fn_idx: usize, impls: &[ImplRegion]) -> Option<FnI
         qualified,
         is_pub: pub_before(tokens, fn_idx),
         line,
+        sig: fn_idx..body_open,
         body: body_open..body_close + 1,
         calls: Vec::new(),
     })
@@ -260,7 +265,7 @@ fn pub_before(tokens: &[Token], item_idx: usize) -> bool {
             Some(_) => return false,
             None => match &t.kind {
                 // The "C" in `extern "C"`.
-                TokenKind::Literal => {
+                TokenKind::Literal(_) => {
                     j = prev;
                 }
                 TokenKind::Punct(')') => {

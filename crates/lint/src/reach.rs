@@ -8,7 +8,9 @@
 //! panics directly is lexical territory and is not re-reported here.
 //!
 //! Suppression policy: an allowlisted `panic.indexing` budget is a local
-//! bounds proof — indexing sinks in such files do **not** propagate. An
+//! bounds proof — indexing sinks in such files do **not** propagate — and
+//! so is a machine-checked `flow.range` proof (the `proven` map carries
+//! the lines whose every index site interval analysis discharged). An
 //! allowlisted `.expect()`/`.unwrap()`/panicking macro is a *caller
 //! contract* (e.g. a documented panicking constructor), so those sinks
 //! always propagate: every public entry point that can reach one must
@@ -23,7 +25,11 @@ use crate::allow::Allowlist;
 use crate::parser::{CallSite, ParsedFile};
 use crate::rules::{panic_pass, violation, Violation};
 use crate::workspace::SourceFile;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-file set of lines whose every index site `flow.range` proved in
+/// bounds (see [`crate::flow::FileProofs::fully_proven`]).
+pub type ProvenLines = BTreeMap<String, BTreeSet<usize>>;
 
 /// Where `reach.panic` findings are reported: the crates whose public API
 /// the station and downstream analysis pipelines call into.
@@ -40,9 +46,10 @@ pub fn reach_pass(
     sources: &[SourceFile],
     parsed: &[ParsedFile],
     allow: &Allowlist,
+    proven: &ProvenLines,
     out: &mut Vec<Violation>,
 ) {
-    let graph = Graph::build(sources, parsed, allow);
+    let graph = Graph::build(sources, parsed, allow, proven);
     let mut memo: Vec<State> = vec![State::Unvisited; graph.fns.len()];
     for id in 0..graph.fns.len() {
         let Some(node) = graph.fns.get(id) else {
@@ -90,7 +97,12 @@ struct Graph {
 }
 
 impl Graph {
-    fn build(sources: &[SourceFile], parsed: &[ParsedFile], allow: &Allowlist) -> Self {
+    fn build(
+        sources: &[SourceFile],
+        parsed: &[ParsedFile],
+        allow: &Allowlist,
+        proven: &ProvenLines,
+    ) -> Self {
         // Flatten every fn in the workspace into one node list.
         let mut fns: Vec<Node> = Vec::new();
         let mut raw_calls: Vec<Vec<CallSite>> = Vec::new();
@@ -106,7 +118,7 @@ impl Graph {
                     name: f.name.clone(),
                     is_pub: f.is_pub,
                     line: f.line,
-                    sink: direct_sink(&pf.path, body, allow),
+                    sink: direct_sink(&pf.path, body, allow, proven),
                     edges: Vec::new(),
                 });
                 raw_calls.push(f.calls.clone());
@@ -164,13 +176,27 @@ fn resolve(
 }
 
 /// Runs the lexical panic pass over one fn body and returns the first
-/// non-suppressed sink, formatted for the report.
-fn direct_sink(file: &str, body: &[crate::lexer::Token], allow: &Allowlist) -> Option<String> {
+/// non-suppressed sink, formatted for the report. Indexing sinks are
+/// suppressed either by a file-level allowlist budget (human-reviewed
+/// bounds justification) or by a `flow.range` proof for that exact line.
+fn direct_sink(
+    file: &str,
+    body: &[crate::lexer::Token],
+    allow: &Allowlist,
+    proven: &ProvenLines,
+) -> Option<String> {
     let mut vs = Vec::new();
     panic_pass(file, body, &mut vs);
     vs.iter()
         .find(|v| {
-            !(v.rule == "panic.indexing" && allow.budget_for(file, "panic.indexing").is_some())
+            if v.rule != "panic.indexing" {
+                return true;
+            }
+            let budgeted = allow.budget_for(file, "panic.indexing").is_some();
+            let flow_proven = proven
+                .get(file)
+                .is_some_and(|lines| lines.contains(&v.line));
+            !(budgeted || flow_proven)
         })
         .map(|v| format!("{} at {file}:{}", sink_label(v.rule), v.line))
 }
@@ -236,6 +262,14 @@ mod tests {
     use crate::parser::parse_file;
 
     fn run(files: &[(&str, &str)], allow: &Allowlist) -> Vec<Violation> {
+        run_proven(files, allow, &ProvenLines::new())
+    }
+
+    fn run_proven(
+        files: &[(&str, &str)],
+        allow: &Allowlist,
+        proven: &ProvenLines,
+    ) -> Vec<Violation> {
         let sources: Vec<SourceFile> = files
             .iter()
             .map(|(path, src)| SourceFile {
@@ -248,7 +282,7 @@ mod tests {
             .map(|s| parse_file(&s.path, &s.tokens))
             .collect();
         let mut out = Vec::new();
-        reach_pass(&sources, &parsed, allow, &mut out);
+        reach_pass(&sources, &parsed, allow, proven, &mut out);
         out
     }
 
@@ -301,6 +335,29 @@ mod tests {
         let f = v.first().expect("one");
         assert_eq!(f.line, 2);
         assert!(f.message.contains("fetch"), "{}", f.message);
+    }
+
+    #[test]
+    fn flow_proven_lines_do_not_propagate() {
+        let caller = "pub fn entry(x: &[f64]) -> f64 { pick(x) }";
+        let inner = "pub fn pick(x: &[f64]) -> f64 { x[0] }";
+        let files = [
+            ("crates/dsp/src/lib.rs", caller),
+            ("crates/dsp/src/inner.rs", inner),
+        ];
+        // Without a proof the indexing sink propagates to `entry`.
+        let unproven = run(&files, &Allowlist::default());
+        assert_eq!(unproven.len(), 1, "{unproven:#?}");
+
+        // With the sink's line proven by flow.range it is a local bounds
+        // proof, exactly like an allowlist budget.
+        let mut proven = ProvenLines::new();
+        proven
+            .entry("crates/dsp/src/inner.rs".to_string())
+            .or_default()
+            .insert(1);
+        let v = run_proven(&files, &Allowlist::default(), &proven);
+        assert!(v.is_empty(), "{v:#?}");
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! flat and stable so the CI job can diff `lint-report.json` across
 //! commits.
 
+use crate::abi::AbiSummary;
 use crate::allow::{Allowlist, Reconciliation};
 use crate::proto::ProtoSummary;
 use crate::rules::RULE_IDS;
+use crate::workspace::PassTimings;
 
 /// Everything one `check` run produces.
 #[derive(Debug)]
@@ -21,6 +23,10 @@ pub struct Report<'a> {
     pub allow: &'a Allowlist,
     /// Protocol coverage counts.
     pub proto: &'a ProtoSummary,
+    /// Wire-ABI lock comparison, when the pass ran.
+    pub abi: Option<&'a AbiSummary>,
+    /// Per-pass elapsed wall-clock.
+    pub timings: &'a PassTimings,
 }
 
 /// Renders the report as a JSON document (trailing newline included).
@@ -110,6 +116,46 @@ pub fn render_json(r: &Report<'_>) -> String {
         ],
     );
     s.push_str("\n  },\n");
+
+    s.push_str("  \"abi\": ");
+    match r.abi {
+        Some(abi) => {
+            s.push_str("{\"lock_present\": ");
+            s.push_str(if abi.lock_present { "true" } else { "false" });
+            s.push_str(", \"variants\": ");
+            s.push_str(&abi.variants.to_string());
+            s.push_str(", \"matched\": ");
+            s.push_str(&abi.matched.to_string());
+            s.push('}');
+        }
+        None => s.push_str("null"),
+    }
+    s.push_str(",\n");
+
+    s.push_str("  \"timings_us\": {\n");
+    let t = r.timings;
+    for (key, us, comma) in [
+        ("lexical", t.lexical_us, true),
+        ("parse", t.parse_us, true),
+        ("flow", t.flow_us, true),
+        ("reach", t.reach_us, true),
+        ("proto", t.proto_us, true),
+        ("conc", t.conc_us, true),
+        ("lock_order", t.lock_order_us, true),
+        ("abi", t.abi_us, true),
+        ("total", t.total_us, false),
+    ] {
+        push_indent(&mut s, 2);
+        s.push('"');
+        s.push_str(key);
+        s.push_str("\": ");
+        s.push_str(&us.to_string());
+        if comma {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  },\n");
 
     s.push_str("  \"rules\": [");
     for (i, id) in RULE_IDS.iter().enumerate() {
@@ -214,16 +260,34 @@ mod tests {
             handled: 24,
             ..ProtoSummary::default()
         };
+        let abi = AbiSummary {
+            variants: 27,
+            matched: 27,
+            lock_present: true,
+        };
+        let timings = PassTimings {
+            lexical_us: 1200,
+            total_us: 9000,
+            ..PassTimings::default()
+        };
         let json = render_json(&Report {
             files_checked: 42,
             violations_total: 3,
             rec: &rec,
             allow: &allow,
             proto: &proto,
+            abi: Some(&abi),
+            timings: &timings,
         });
         assert!(json.contains("\"status\": \"clean\""), "{json}");
         assert!(json.contains("\"handled\": 24"), "{json}");
         assert!(json.contains("\"total\": 3"), "{json}");
+        assert!(
+            json.contains("\"abi\": {\"lock_present\": true, \"variants\": 27, \"matched\": 27}"),
+            "{json}"
+        );
+        assert!(json.contains("\"lexical\": 1200"), "{json}");
+        assert!(json.contains("\"total\": 9000"), "{json}");
         // Brackets and braces balance.
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
@@ -246,8 +310,11 @@ mod tests {
             rec: &rec,
             allow: &allow,
             proto: &ProtoSummary::default(),
+            abi: None,
+            timings: &PassTimings::default(),
         });
         assert!(json.contains("\"status\": \"failed\""), "{json}");
+        assert!(json.contains("\"abi\": null"), "{json}");
         assert!(json.contains("\\\"quoted\\\"\\nmessage"), "{json}");
         assert!(json.contains("\"line\": 7"), "{json}");
     }

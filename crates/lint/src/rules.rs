@@ -74,6 +74,10 @@ pub const RULE_IDS: &[&str] = &[
     "conc.atomic-rmw",
     "conc.ordering",
     "conc.hold-and-block",
+    "flow.unit",
+    "flow.range",
+    "conc.lock-order",
+    "proto.abi",
 ];
 
 /// One-line description per rule id, for `rules` output.
@@ -96,6 +100,10 @@ pub fn rule_description(id: &str) -> &'static str {
         "conc.atomic-rmw" => "non-atomic read-modify-write on an atomic counter",
         "conc.ordering" => "inconsistent memory Ordering across uses of one atomic",
         "conc.hold-and-block" => "blocking call while holding a lock",
+        "flow.unit" => "dimension-mixing assignment or sum found by unit dataflow",
+        "flow.range" => "interval analysis proves an index/divisor can panic",
+        "conc.lock-order" => "lock/channel acquisition-order cycle (potential deadlock)",
+        "proto.abi" => "wire encoding drifted from the committed link.abi.lock",
         _ => "unknown rule",
     }
 }
@@ -318,26 +326,35 @@ pub(crate) fn panic_pass(file: &str, tokens: &[Token], out: &mut Vec<Violation>)
         // Direct slice/array indexing: `expr[...]` where expr ends in an
         // identifier, `]` or `)`. `[..]` (full range) cannot panic and is
         // exempt; everything else (including partial ranges) can.
-        if t.is_punct('[') && i >= 1 {
-            let prev = &tokens[i - 1];
-            let indexes_expr = match prev.ident() {
-                Some(name) => !NON_INDEX_PREFIX_KEYWORDS.contains(&name),
-                None => prev.is_punct(']') || prev.is_punct(')'),
-            };
-            let full_range = tokens.get(i + 1).map(|t| t.is_punct('.')) == Some(true)
-                && tokens.get(i + 2).map(|t| t.is_punct('.')) == Some(true)
-                && tokens.get(i + 3).map(|t| t.is_punct(']')) == Some(true);
-            if indexes_expr && !full_range {
-                out.push(violation(
-                    file,
-                    t.line,
-                    "panic.indexing",
-                    "direct slice indexing can panic; use get()/get_mut() or iterate, \
-                     or allowlist with a bounds justification",
-                ));
-            }
+        if index_site(tokens, i) {
+            out.push(violation(
+                file,
+                t.line,
+                "panic.indexing",
+                "direct slice indexing can panic; use get()/get_mut() or iterate, \
+                 or allowlist with a bounds justification",
+            ));
         }
     }
+}
+
+/// `true` when token `i` is a `[` opening a direct index expression that
+/// `panic.indexing` flags. Shared with the `flow.range` prover so interval
+/// proofs discharge exactly the sites the syntactic rule reports.
+pub(crate) fn index_site(tokens: &[Token], i: usize) -> bool {
+    let Some(t) = tokens.get(i) else { return false };
+    if !t.is_punct('[') || i == 0 {
+        return false;
+    }
+    let prev = &tokens[i - 1];
+    let indexes_expr = match prev.ident() {
+        Some(name) => !NON_INDEX_PREFIX_KEYWORDS.contains(&name),
+        None => prev.is_punct(']') || prev.is_punct(')'),
+    };
+    let full_range = tokens.get(i + 1).map(|t| t.is_punct('.')) == Some(true)
+        && tokens.get(i + 2).map(|t| t.is_punct('.')) == Some(true)
+        && tokens.get(i + 3).map(|t| t.is_punct(']')) == Some(true);
+    indexes_expr && !full_range
 }
 
 // ---------------------------------------------------------------------------
@@ -413,7 +430,7 @@ fn public_fn_params(tokens: &[Token], i: usize) -> Option<(usize, usize)> {
     ) {
         j += 1;
         // `extern "C"` carries a literal.
-        if matches!(tokens.get(j)?.kind, crate::lexer::TokenKind::Literal) {
+        if matches!(tokens.get(j)?.kind, crate::lexer::TokenKind::Literal(_)) {
             j += 1;
         }
     }

@@ -20,16 +20,20 @@
 //!   `crates/units` (which defines the newtypes in terms of raw `f64`)
 //!   and this crate (which has no physical API surface).
 
+use crate::abi::{abi_pass, canonical_entries, AbiSummary, LockState, LOCK_FILE};
 use crate::allow::Allowlist;
 use crate::conc::{conc_pass, CONTROL_PREFIX, STATION_PREFIX};
+use crate::flow::flow_pass;
 use crate::lexer::{lex, strip_test_code, Token};
+use crate::locks::lock_order_pass;
 use crate::parser::{parse_file, ParsedFile};
 use crate::proto::{proto_pass, ProtoConfig, ProtoSummary};
-use crate::reach::reach_pass;
+use crate::reach::{reach_pass, ProvenLines};
 use crate::rules::{run_rules, RuleSet, Violation};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Returns the workspace root, resolved from this crate's manifest so the
 /// binary works regardless of the invoker's working directory.
@@ -140,35 +144,162 @@ pub fn load_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
     Ok(sources)
 }
 
-/// Runs every pass — per-file lexical rules, then the workspace-level
-/// semantic passes (panic reachability, protocol exhaustiveness,
-/// concurrency discipline) — over pre-loaded sources. The allowlist is
-/// input (not just output reconciliation) because `reach.panic` treats
-/// allowlisted indexing budgets as local bounds proofs.
-pub fn check_sources(sources: &[SourceFile], allow: &Allowlist) -> (Vec<Violation>, ProtoSummary) {
+/// Crates whose sources the `flow.unit` inference runs over: the physics
+/// and signal layers where dimensioned scalars are pervasive. The serving
+/// and chip-model layers mix typed quantities with raw counters heavily
+/// enough that name-seeded inference would be noise there.
+const UNIT_FLOW_PREFIXES: &[&str] = &[
+    "crates/core/src/",
+    "crates/circuit/src/",
+    "crates/dsp/src/",
+    "crates/units/src/",
+];
+
+/// Wall-clock cost of each analysis stage, in microseconds. The lint
+/// crate is outside `det.*` scope, so reading the monotonic clock here is
+/// legal — these numbers are diagnostics, never analysis inputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassTimings {
+    pub lexical_us: u128,
+    pub parse_us: u128,
+    pub flow_us: u128,
+    pub reach_us: u128,
+    pub proto_us: u128,
+    pub conc_us: u128,
+    pub lock_order_us: u128,
+    pub abi_us: u128,
+    pub total_us: u128,
+}
+
+/// Everything one full analysis run produces.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// Every violation, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Protocol coverage counts.
+    pub proto: ProtoSummary,
+    /// Wire-ABI lock comparison, when a lock state was supplied.
+    pub abi: Option<AbiSummary>,
+    /// Per-pass elapsed wall-clock.
+    pub timings: PassTimings,
+}
+
+/// Runs every pass — per-file lexical rules, intraprocedural dataflow
+/// (`flow.*`), then the workspace-level semantic passes (panic
+/// reachability, protocol exhaustiveness, concurrency discipline,
+/// lock-order acyclicity, wire-ABI lock) — over pre-loaded sources.
+///
+/// The allowlist is input (not just output reconciliation) because
+/// `reach.panic` treats allowlisted indexing budgets as local bounds
+/// proofs. `flow.range` proofs *discharge* `panic.indexing` findings
+/// before they are returned: a line whose every index site the interval
+/// analysis proved in bounds needs no allowlist budget, and its sinks do
+/// not propagate through `reach.panic` either. Pass `None` for `lock` to
+/// skip the ABI comparison (unit tests); the real entry point
+/// [`check_workspace`] always supplies the on-disk lock state.
+pub fn check_sources_full(
+    sources: &[SourceFile],
+    allow: &Allowlist,
+    lock: Option<&LockState>,
+) -> CheckOutcome {
+    let started = Instant::now();
+    let mut timings = PassTimings::default();
     let mut all = Vec::new();
+
+    let t = Instant::now();
     for s in sources {
         all.extend(run_rules(&s.path, &s.tokens, rules_for(&s.path)));
     }
+    timings.lexical_us = t.elapsed().as_micros();
+
+    let t = Instant::now();
     let parsed: Vec<ParsedFile> = sources
         .iter()
         .map(|s| parse_file(&s.path, &s.tokens))
         .collect();
-    reach_pass(sources, &parsed, allow, &mut all);
+    timings.parse_us = t.elapsed().as_micros();
+
+    // Dataflow: unit inference where dimensioned scalars live, interval
+    // analysis everywhere the panic rules look.
+    let t = Instant::now();
+    let mut proven = ProvenLines::new();
+    for (s, p) in sources.iter().zip(&parsed) {
+        let check_units = UNIT_FLOW_PREFIXES.iter().any(|pre| s.path.starts_with(pre));
+        let proofs = flow_pass(&s.path, &s.tokens, p, check_units, &mut all);
+        let lines = proofs.fully_proven();
+        if !lines.is_empty() {
+            proven.insert(s.path.clone(), lines);
+        }
+    }
+    // Discharge: an indexing finding whose line is fully proven is not a
+    // finding at all — the analysis did the allowlist's job.
+    all.retain(|v| {
+        !(v.rule == "panic.indexing"
+            && proven
+                .get(&v.file)
+                .is_some_and(|lines| lines.contains(&v.line)))
+    });
+    timings.flow_us = t.elapsed().as_micros();
+
+    let t = Instant::now();
+    reach_pass(sources, &parsed, allow, &proven, &mut all);
+    timings.reach_us = t.elapsed().as_micros();
+
+    let t = Instant::now();
     let summary = proto_pass(sources, &parsed, &ProtoConfig::WORKSPACE, &mut all);
+    timings.proto_us = t.elapsed().as_micros();
+
+    let t = Instant::now();
     conc_pass(sources, &parsed, STATION_PREFIX, &mut all);
     conc_pass(sources, &parsed, CONTROL_PREFIX, &mut all);
+    timings.conc_us = t.elapsed().as_micros();
+
+    let t = Instant::now();
+    lock_order_pass(
+        sources,
+        &parsed,
+        &[STATION_PREFIX, CONTROL_PREFIX],
+        &mut all,
+    );
+    timings.lock_order_us = t.elapsed().as_micros();
+
+    let t = Instant::now();
+    let abi = lock.map(|state| abi_pass(&canonical_entries(), state, &mut all));
+    timings.abi_us = t.elapsed().as_micros();
+
     all.sort_by(|a, b| (a.file.clone(), a.line, a.rule).cmp(&(b.file.clone(), b.line, b.rule)));
-    (all, summary)
+    timings.total_us = started.elapsed().as_micros();
+    CheckOutcome {
+        violations: all,
+        proto: summary,
+        abi,
+        timings,
+    }
 }
 
-/// Runs the full analysis over every in-scope workspace file.
-pub fn check_workspace(
-    root: &Path,
-    allow: &Allowlist,
-) -> io::Result<(Vec<Violation>, ProtoSummary)> {
+/// Compatibility shim over [`check_sources_full`]: no ABI lock, discard
+/// timings. Kept because the fixture tests and older callers only need
+/// the violation list and protocol summary.
+pub fn check_sources(sources: &[SourceFile], allow: &Allowlist) -> (Vec<Violation>, ProtoSummary) {
+    let outcome = check_sources_full(sources, allow, None);
+    (outcome.violations, outcome.proto)
+}
+
+/// Reads the committed wire-ABI lock from the workspace root. A missing
+/// file is a reportable state (the `abi` pass flags it), not an error.
+pub fn load_lock_state(root: &Path) -> LockState {
+    match fs::read_to_string(root.join(LOCK_FILE)) {
+        Ok(text) => LockState::Present(text),
+        Err(_) => LockState::Missing,
+    }
+}
+
+/// Runs the full analysis over every in-scope workspace file, including
+/// the ABI comparison against the committed `link.abi.lock`.
+pub fn check_workspace(root: &Path, allow: &Allowlist) -> io::Result<CheckOutcome> {
     let sources = load_sources(root)?;
-    Ok(check_sources(&sources, allow))
+    let lock = load_lock_state(root);
+    Ok(check_sources_full(&sources, allow, Some(&lock)))
 }
 
 #[cfg(test)]

@@ -6,8 +6,8 @@
 use bsa_lint::lexer::{lex, strip_test_code};
 use bsa_lint::rules::{run_rules, RuleSet};
 use bsa_lint::{
-    conc_pass, parse_file, proto_pass, reach_pass, Allowlist, ParsedFile, ProtoConfig, SourceFile,
-    Violation, STATION_PREFIX,
+    abi_pass, conc_pass, flow_pass, lock_order_pass, parse_file, proto_pass, reach_pass, AbiEntry,
+    Allowlist, LockState, ParsedFile, ProtoConfig, SourceFile, Violation, STATION_PREFIX,
 };
 use std::collections::BTreeMap;
 use std::fs;
@@ -131,7 +131,7 @@ fn reach_fixture_is_fully_flagged() {
         "crates/core/src/reach_fixture.rs",
         &|s, p, out| {
             let empty = Allowlist::parse("").expect("empty allowlist parses");
-            reach_pass(s, p, &empty, out);
+            reach_pass(s, p, &empty, &bsa_lint::ProvenLines::new(), out);
         },
     );
 }
@@ -155,6 +155,63 @@ fn conc_fixture_is_fully_flagged() {
 }
 
 #[test]
+fn flow_fixture_is_fully_flagged() {
+    // Synthetic path inside a dimensioned-value crate so `flow.unit`
+    // runs alongside the always-on interval prover.
+    check_semantic_fixture(
+        "flow.rs",
+        "crates/core/src/flow_fixture.rs",
+        &|s, p, out| {
+            let (Some(sf), Some(pf)) = (s.first(), p.first()) else {
+                panic!("fixture harness passes exactly one file");
+            };
+            flow_pass(&sf.path, &sf.tokens, pf, true, out);
+        },
+    );
+}
+
+#[test]
+fn locks_fixture_is_fully_flagged() {
+    check_semantic_fixture(
+        "locks.rs",
+        "crates/station/src/locks_fixture.rs",
+        &|s, p, out| {
+            lock_order_pass(s, p, &[STATION_PREFIX], out);
+        },
+    );
+}
+
+#[test]
+fn abi_fixture_is_fully_flagged() {
+    // The fixture is faux lock text, not Rust: strip the markers off each
+    // line (keeping line numbers intact), present the rest as the lock,
+    // and diff it against a synthetic three-variant HEAD.
+    let source = fixture("abi.rs");
+    let expected = expected_markers(&source);
+    let lock_text: String = source
+        .lines()
+        .map(|l| l.split("//~").next().unwrap_or(l))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let current = [
+        ("Hello", 0x01u8, 2usize, 0x11u64),
+        ("Ping", 0x02, 3, 0xaa),
+        ("Pong", 0x03, 9, 0xdead),
+    ]
+    .map(|(variant, tag, len, hash)| AbiEntry {
+        variant: variant.to_string(),
+        tag,
+        len,
+        hash,
+    });
+    let mut violations = Vec::new();
+    let summary = abi_pass(&current, &LockState::Present(lock_text), &mut violations);
+    assert!(summary.lock_present);
+    assert_eq!(summary.matched, 1, "only Ping matches: {violations:#?}");
+    assert_markers("abi.rs", &expected, &violations);
+}
+
+#[test]
 fn clean_fixture_has_zero_violations() {
     let source = fixture("clean.rs");
     assert!(
@@ -175,6 +232,9 @@ fn every_rule_id_is_exercised_by_some_fixture() {
         "reach.rs",
         "proto.rs",
         "conc.rs",
+        "flow.rs",
+        "locks.rs",
+        "abi.rs",
     ] {
         for ((_, rule), _) in expected_markers(&fixture(name)) {
             seen.push(rule);
