@@ -409,6 +409,124 @@ fn bench_station(args: &Args) -> String {
     json
 }
 
+/// Times the persistence path (experiment E-STORE): segment writes
+/// through `bsa-store`'s queued writer thread, then wire-level replay of
+/// the same segment through a loopback station — the record/replay cost
+/// relative to the live streaming numbers above.
+fn bench_store(args: &Args) -> String {
+    use bsa_link::ChipKind;
+    use bsa_station::{Station, StationClient, StationConfig};
+    use bsa_store::{encode_neuro_frame, fnv1a64, frame_payload_len, Recorder, SegmentMeta};
+
+    let (rows, frames, reps) = if args.quick {
+        (16usize, args.frames.unwrap_or(256), 3usize)
+    } else {
+        (128, args.frames.unwrap_or(256), 5)
+    };
+    let pixels = rows * rows;
+    let payload_len = frame_payload_len(ChipKind::Neuro, rows as u16, rows as u16);
+
+    // Pre-encoded, bit-diverse frames: the timed loop measures the queue
+    // hand-off and writer thread, not sample synthesis.
+    let payloads: Vec<Vec<u8>> = (0..frames)
+        .map(|f| {
+            let samples: Vec<f64> = (0..pixels)
+                .map(|p| (f * pixels + p) as f64 * 1e-6 - 0.5)
+                .collect();
+            encode_neuro_frame(&samples)
+        })
+        .collect();
+
+    let root = std::env::temp_dir().join(format!("bsa-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let meta = SegmentMeta {
+        chip: 1,
+        kind: ChipKind::Neuro,
+        rows: rows as u16,
+        cols: rows as u16,
+        config_hash: fnv1a64(b"bench"),
+        spec: "bench".to_string(),
+    };
+
+    // Write path: best-of-reps over fresh segments; `finish` joins the
+    // writer thread, so the elapsed time covers full persistence. The
+    // queue is sized to the offer count so throughput is not distorted
+    // by drop-and-count backpressure.
+    let mut best_write = f64::INFINITY;
+    let mut bytes_written = 0u64;
+    for rep in 0..reps {
+        let name = format!("bench-{rep}");
+        let start = Instant::now();
+        let mut recorder =
+            Recorder::create(&root, &name, &meta, payload_len, frames).expect("create segment");
+        for payload in &payloads {
+            recorder.offer(0, payload.clone()).expect("offer frame");
+        }
+        let summary = recorder.finish().expect("finalize segment");
+        best_write = best_write.min(start.elapsed().as_secs_f64());
+        assert_eq!(summary.frames_dropped, 0, "queue sized to cover offers");
+        bytes_written = summary.bytes_written;
+    }
+    let write_fps = frames as f64 / best_write;
+    let write_bytes_per_s = bytes_written as f64 / best_write;
+
+    // Replay path: the finished segment served back over loopback TCP
+    // with the live-stream grammar, measured end to end at the client.
+    let station = Station::bind(StationConfig {
+        store_root: Some(root.clone()),
+        ..StationConfig::default()
+    })
+    .expect("bind loopback station");
+    let mut client = StationClient::connect(station.addr(), "bench").expect("connect");
+    let bytes_before = station.stats().bytes_sent;
+    let warm = client.replay("bench-0", 0).expect("warm-up replay");
+    assert_eq!(warm.frames.len(), frames, "replay returns every frame");
+    let bytes_per_replay = station.stats().bytes_sent - bytes_before;
+    let mut best_replay = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        client.replay("bench-0", 0).expect("timed replay");
+        best_replay = best_replay.min(start.elapsed().as_secs_f64());
+    }
+    let replay_fps = frames as f64 / best_replay;
+    let replay_bytes_per_s = bytes_per_replay as f64 / best_replay;
+    drop(client);
+    let _ = std::fs::remove_dir_all(&root);
+
+    println!(
+        "store {rows}x{rows}, {frames} frames: write {write_fps:.0} frames/s \
+         ({:.1} MB/s to disk), replay {replay_fps:.0} frames/s over TCP ({:.1} MB/s)",
+        write_bytes_per_s / 1e6,
+        replay_bytes_per_s / 1e6
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bsa-bench-store/v1\",");
+    let _ = writeln!(json, "  \"rows\": {rows},");
+    let _ = writeln!(json, "  \"cols\": {rows},");
+    let _ = writeln!(json, "  \"frames\": {frames},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"segment_bytes\": {bytes_written},");
+    let _ = writeln!(json, "  \"write_s\": {},", jnum(best_write));
+    let _ = writeln!(json, "  \"write_frames_per_s\": {},", jnum(write_fps));
+    let _ = writeln!(
+        json,
+        "  \"write_bytes_per_s\": {},",
+        jnum(write_bytes_per_s)
+    );
+    let _ = writeln!(json, "  \"replay_s\": {},", jnum(best_replay));
+    let _ = writeln!(json, "  \"replay_frames_per_s\": {},", jnum(replay_fps));
+    let _ = writeln!(
+        json,
+        "  \"replay_bytes_per_s\": {},",
+        jnum(replay_bytes_per_s)
+    );
+    let _ = writeln!(json, "  \"replay_transport\": \"tcp-loopback\"");
+    json.push('}');
+    json.push('\n');
+    json
+}
+
 fn main() {
     let args = parse_args();
     banner(
@@ -420,18 +538,22 @@ fn main() {
     let neuro = bench_neuro(&args);
     let dna = bench_dna(&args);
     let station = bench_station(&args);
+    let store = bench_store(&args);
 
     std::fs::create_dir_all(&args.out).expect("create output directory");
     let neuro_path = args.out.join("BENCH_neuro.json");
     let dna_path = args.out.join("BENCH_dna.json");
     let station_path = args.out.join("BENCH_station.json");
+    let store_path = args.out.join("BENCH_store.json");
     std::fs::write(&neuro_path, neuro).expect("write BENCH_neuro.json");
     std::fs::write(&dna_path, dna).expect("write BENCH_dna.json");
     std::fs::write(&station_path, station).expect("write BENCH_station.json");
+    std::fs::write(&store_path, store).expect("write BENCH_store.json");
     println!(
-        "wrote {}, {} and {}",
+        "wrote {}, {}, {} and {}",
         neuro_path.display(),
         dna_path.display(),
-        station_path.display()
+        station_path.display(),
+        store_path.display()
     );
 }

@@ -53,5 +53,5 @@ pub use frame::{
 pub use message::{
     ChipId, ChipKind, CultureSpec, DegradationSummary, DnaChipSpec, ErrorCode, FaultEntrySpec,
     FaultKindSpec, FaultPlanSpec, FaultTargetSpec, Message, NeuroChipSpec, PixelCount,
-    SerialLinkSummary, StatsSnapshot, StreamPayload, TargetSpec, YieldSummary,
+    RecordingEntry, SerialLinkSummary, StatsSnapshot, StreamPayload, TargetSpec, YieldSummary,
 };

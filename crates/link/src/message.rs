@@ -24,6 +24,10 @@
 //! | `RunAssay`           | (`StreamData`* `StreamEnd`)? `AssayResult` |
 //! | `StartNeuroStream`   | `StreamData`* `StreamEnd`                  |
 //! | `QueryStats`         | `StatsReport`                              |
+//! | `StartRecording`     | `RecordingStarted`                         |
+//! | `StopRecording`      | `RecordingStopped`                         |
+//! | `ListRecordings`     | `RecordingList`                            |
+//! | `Replay`             | `StreamData`* `StreamEnd`                  |
 //! | any                  | `ErrorReply` on failure                    |
 
 use crate::error::ProtocolError;
@@ -294,6 +298,28 @@ pub enum ErrorCode {
     Overloaded,
     /// Unexpected server-side failure.
     Internal,
+    /// The recording store rejected the operation (missing, corrupt, or
+    /// not configured).
+    StoreError,
+}
+
+/// Summary of one on-disk recording, as reported by `RecordingList`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordingEntry {
+    /// Recording name (store-scoped, unique).
+    pub name: String,
+    /// Which array kind produced the frames.
+    pub kind: ChipKind,
+    /// Frame height in pixels at record time.
+    pub rows: u16,
+    /// Frame width in pixels at record time.
+    pub cols: u16,
+    /// Frames (or DNA readings) persisted.
+    pub frames: u64,
+    /// Segment file size in bytes.
+    pub bytes: u64,
+    /// FNV-1a-64 hash of the recorded chip's config snapshot.
+    pub config_hash: u64,
 }
 
 /// A protocol message — see the module docs for the request/response map.
@@ -467,6 +493,56 @@ pub enum Message {
         /// Human-readable detail.
         message: String,
     },
+    /// Start persisting a chip's streamed frames to the station's store
+    /// under the given name.
+    StartRecording {
+        /// Chip handle whose streams should be persisted.
+        chip: ChipId,
+        /// Store-scoped recording name (`[A-Za-z0-9._-]`, non-empty).
+        name: String,
+    },
+    /// The recording is live: subsequent streams from the chip are teed
+    /// to disk until `StopRecording` (or session end) finalises it.
+    RecordingStarted {
+        /// Chip handle being recorded.
+        chip: ChipId,
+        /// The accepted recording name.
+        name: String,
+    },
+    /// Finalise the chip's active recording.
+    StopRecording {
+        /// Chip handle being recorded.
+        chip: ChipId,
+    },
+    /// Recording finalised, with persistence accounting (the store's own
+    /// bounded queue drops-and-counts, mirroring `StreamEnd`).
+    RecordingStopped {
+        /// Chip handle that was recorded.
+        chip: ChipId,
+        /// The finalised recording's name.
+        name: String,
+        /// Frames (or DNA readings) persisted to the segment.
+        frames_written: u64,
+        /// Frames dropped by store backpressure.
+        frames_dropped: u64,
+        /// Segment file size in bytes, index footer included.
+        bytes_written: u64,
+    },
+    /// List recordings in the station's store.
+    ListRecordings,
+    /// The store catalog.
+    RecordingList {
+        /// One entry per readable recording, sorted by name.
+        recordings: Vec<RecordingEntry>,
+    },
+    /// Replay a stored recording as a stream. The station answers with
+    /// the same `StreamData`* `StreamEnd` grammar a live chip produces.
+    Replay {
+        /// Recording name from the catalog.
+        name: String,
+        /// Frames (or readings) per chunk (0 selects the server default).
+        chunk_frames: u32,
+    },
 }
 
 // Payload tags. Gaps are reserved for future messages.
@@ -496,6 +572,13 @@ const TAG_ACK: u8 = 0x17;
 const TAG_ERROR_REPLY: u8 = 0x18;
 const TAG_MASK_PIXELS: u8 = 0x19;
 const TAG_MASKED: u8 = 0x1A;
+const TAG_START_RECORDING: u8 = 0x1B;
+const TAG_RECORDING_STARTED: u8 = 0x1C;
+const TAG_STOP_RECORDING: u8 = 0x1D;
+const TAG_RECORDING_STOPPED: u8 = 0x1E;
+const TAG_LIST_RECORDINGS: u8 = 0x1F;
+const TAG_RECORDING_LIST: u8 = 0x20;
+const TAG_REPLAY: u8 = 0x21;
 
 impl ChipKind {
     fn encode(self, w: &mut Writer) {
@@ -906,6 +989,7 @@ impl ErrorCode {
             Self::ChipError => 3,
             Self::Overloaded => 4,
             Self::Internal => 5,
+            Self::StoreError => 6,
         });
     }
 
@@ -917,11 +1001,36 @@ impl ErrorCode {
             3 => Ok(Self::ChipError),
             4 => Ok(Self::Overloaded),
             5 => Ok(Self::Internal),
+            6 => Ok(Self::StoreError),
             tag => Err(ProtocolError::UnknownTag {
                 what: "ErrorCode",
                 tag,
             }),
         }
+    }
+}
+
+impl RecordingEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.string(&self.name);
+        self.kind.encode(w);
+        w.u16(self.rows);
+        w.u16(self.cols);
+        w.u64(self.frames);
+        w.u64(self.bytes);
+        w.u64(self.config_hash);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtocolError> {
+        Ok(Self {
+            name: r.string()?,
+            kind: ChipKind::decode(r)?,
+            rows: r.u16()?,
+            cols: r.u16()?,
+            frames: r.u64()?,
+            bytes: r.u64()?,
+            config_hash: r.u64()?,
+        })
     }
 }
 
@@ -1101,6 +1210,47 @@ impl Message {
                 code.encode(&mut w);
                 w.string(message);
             }
+            Self::StartRecording { chip, name } => {
+                w.u8(TAG_START_RECORDING);
+                w.u32(*chip);
+                w.string(name);
+            }
+            Self::RecordingStarted { chip, name } => {
+                w.u8(TAG_RECORDING_STARTED);
+                w.u32(*chip);
+                w.string(name);
+            }
+            Self::StopRecording { chip } => {
+                w.u8(TAG_STOP_RECORDING);
+                w.u32(*chip);
+            }
+            Self::RecordingStopped {
+                chip,
+                name,
+                frames_written,
+                frames_dropped,
+                bytes_written,
+            } => {
+                w.u8(TAG_RECORDING_STOPPED);
+                w.u32(*chip);
+                w.string(name);
+                w.u64(*frames_written);
+                w.u64(*frames_dropped);
+                w.u64(*bytes_written);
+            }
+            Self::ListRecordings => w.u8(TAG_LIST_RECORDINGS),
+            Self::RecordingList { recordings } => {
+                w.u8(TAG_RECORDING_LIST);
+                w.count(recordings.len());
+                for entry in recordings {
+                    entry.encode(&mut w);
+                }
+            }
+            Self::Replay { name, chunk_frames } => {
+                w.u8(TAG_REPLAY);
+                w.string(name);
+                w.u32(*chunk_frames);
+            }
         }
         w.into_bytes()
     }
@@ -1224,6 +1374,36 @@ impl Message {
                 code: ErrorCode::decode(&mut r)?,
                 message: r.string()?,
             },
+            TAG_START_RECORDING => Self::StartRecording {
+                chip: r.u32()?,
+                name: r.string()?,
+            },
+            TAG_RECORDING_STARTED => Self::RecordingStarted {
+                chip: r.u32()?,
+                name: r.string()?,
+            },
+            TAG_STOP_RECORDING => Self::StopRecording { chip: r.u32()? },
+            TAG_RECORDING_STOPPED => Self::RecordingStopped {
+                chip: r.u32()?,
+                name: r.string()?,
+                frames_written: r.u64()?,
+                frames_dropped: r.u64()?,
+                bytes_written: r.u64()?,
+            },
+            TAG_LIST_RECORDINGS => Self::ListRecordings,
+            TAG_RECORDING_LIST => {
+                // name length prefix + kind + rows/cols + frames/bytes/hash
+                let n = r.count(4 + 1 + 4 + 24, "RecordingList.recordings")?;
+                let mut recordings = Vec::with_capacity(n);
+                for _ in 0..n {
+                    recordings.push(RecordingEntry::decode(&mut r)?);
+                }
+                Self::RecordingList { recordings }
+            }
+            TAG_REPLAY => Self::Replay {
+                name: r.string()?,
+                chunk_frames: r.u32()?,
+            },
             tag => {
                 return Err(ProtocolError::UnknownTag {
                     what: "Message",
@@ -1268,6 +1448,42 @@ mod tests {
             pixels: vec![0, 17, 4095],
         });
         roundtrip(&Message::Masked { chip: 2, masked: 3 });
+        roundtrip(&Message::StartRecording {
+            chip: 1,
+            name: "run-2026-001".into(),
+        });
+        roundtrip(&Message::RecordingStarted {
+            chip: 1,
+            name: "run-2026-001".into(),
+        });
+        roundtrip(&Message::StopRecording { chip: 1 });
+        roundtrip(&Message::RecordingStopped {
+            chip: 1,
+            name: "run-2026-001".into(),
+            frames_written: 112,
+            frames_dropped: 4,
+            bytes_written: 131_072,
+        });
+        roundtrip(&Message::ListRecordings);
+        roundtrip(&Message::RecordingList {
+            recordings: vec![RecordingEntry {
+                name: "run-2026-001".into(),
+                kind: ChipKind::Neuro,
+                rows: 128,
+                cols: 128,
+                frames: 112,
+                bytes: 131_072,
+                config_hash: 0xDEAD_BEEF_CAFE_F00D,
+            }],
+        });
+        roundtrip(&Message::Replay {
+            name: "run-2026-001".into(),
+            chunk_frames: 8,
+        });
+        roundtrip(&Message::ErrorReply {
+            code: ErrorCode::StoreError,
+            message: "no recording named x".into(),
+        });
         roundtrip(&Message::InjectFaults {
             chip: 1,
             plan: FaultPlanSpec {

@@ -8,8 +8,8 @@
 use bsa_link::{
     decode_frame, encode_frame, read_message, ChipKind, CultureSpec, DegradationSummary,
     DnaChipSpec, ErrorCode, FaultEntrySpec, FaultKindSpec, FaultPlanSpec, FaultTargetSpec, Message,
-    NeuroChipSpec, PixelCount, ProtocolError, SerialLinkSummary, StatsSnapshot, StreamPayload,
-    TargetSpec, YieldSummary,
+    NeuroChipSpec, PixelCount, ProtocolError, RecordingEntry, SerialLinkSummary, StatsSnapshot,
+    StreamPayload, TargetSpec, YieldSummary,
 };
 use proptest::prelude::*;
 
@@ -58,7 +58,31 @@ fn error_code() -> impl Strategy<Value = ErrorCode> {
         Just(ErrorCode::ChipError),
         Just(ErrorCode::Overloaded),
         Just(ErrorCode::Internal),
+        Just(ErrorCode::StoreError),
     ]
+}
+
+fn recording_entry() -> impl Strategy<Value = RecordingEntry> {
+    (
+        wire_string(),
+        chip_kind(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(name, kind, rows, cols, frames, bytes, config_hash)| RecordingEntry {
+                name,
+                kind,
+                rows,
+                cols,
+                frames,
+                bytes,
+                config_hash,
+            },
+        )
 }
 
 fn dna_spec() -> impl Strategy<Value = DnaChipSpec> {
@@ -320,6 +344,34 @@ fn message() -> impl Strategy<Value = Message> {
         Just(Message::Ack),
         (error_code(), wire_string())
             .prop_map(|(code, message)| Message::ErrorReply { code, message }),
+        (any::<u32>(), wire_string())
+            .prop_map(|(chip, name)| Message::StartRecording { chip, name }),
+        (any::<u32>(), wire_string())
+            .prop_map(|(chip, name)| Message::RecordingStarted { chip, name }),
+        any::<u32>().prop_map(|chip| Message::StopRecording { chip }),
+        (
+            any::<u32>(),
+            wire_string(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(chip, name, frames_written, frames_dropped, bytes_written)| {
+                    Message::RecordingStopped {
+                        chip,
+                        name,
+                        frames_written,
+                        frames_dropped,
+                        bytes_written,
+                    }
+                }
+            ),
+        Just(Message::ListRecordings),
+        prop::collection::vec(recording_entry(), 0..4)
+            .prop_map(|recordings| Message::RecordingList { recordings }),
+        (wire_string(), any::<u32>())
+            .prop_map(|(name, chunk_frames)| Message::Replay { name, chunk_frames }),
     ]
 }
 

@@ -14,7 +14,7 @@
 use bsa_link::{
     ChipKind, CultureSpec, DegradationSummary, DnaChipSpec, ErrorCode, FaultEntrySpec,
     FaultKindSpec, FaultPlanSpec, FaultTargetSpec, Message, NeuroChipSpec, PixelCount,
-    SerialLinkSummary, StatsSnapshot, StreamPayload, TargetSpec, YieldSummary,
+    RecordingEntry, SerialLinkSummary, StatsSnapshot, StreamPayload, TargetSpec, YieldSummary,
 };
 
 use crate::rules::{violation, Violation};
@@ -300,10 +300,57 @@ fn canonical_messages() -> Vec<(&'static str, Message)> {
         (
             "ErrorReply",
             Message::ErrorReply {
-                // `Internal` is the last-numbered code, so inserting or
+                // `StoreError` is the last-numbered code, so inserting or
                 // reordering codes shifts this byte and trips the hash.
-                code: ErrorCode::Internal,
+                code: ErrorCode::StoreError,
                 message: "boom".to_string(),
+            },
+        ),
+        (
+            "StartRecording",
+            Message::StartRecording {
+                chip: 2,
+                name: "take-1".to_string(),
+            },
+        ),
+        (
+            "RecordingStarted",
+            Message::RecordingStarted {
+                chip: 2,
+                name: "take-1".to_string(),
+            },
+        ),
+        ("StopRecording", Message::StopRecording { chip: 2 }),
+        (
+            "RecordingStopped",
+            Message::RecordingStopped {
+                chip: 2,
+                name: "take-1".to_string(),
+                frames_written: 48,
+                frames_dropped: 3,
+                bytes_written: 6_144,
+            },
+        ),
+        ("ListRecordings", Message::ListRecordings),
+        (
+            "RecordingList",
+            Message::RecordingList {
+                recordings: vec![RecordingEntry {
+                    name: "take-1".to_string(),
+                    kind: ChipKind::Neuro,
+                    rows: 3,
+                    cols: 5,
+                    frames: 48,
+                    bytes: 6_144,
+                    config_hash: 0x0102_0304_0506_0708,
+                }],
+            },
+        ),
+        (
+            "Replay",
+            Message::Replay {
+                name: "take-1".to_string(),
+                chunk_frames: 8,
             },
         ),
     ]
@@ -474,12 +521,12 @@ mod tests {
     #[test]
     fn entries_cover_every_message_variant() {
         let entries = canonical_entries();
-        // 26 Message variants, with StreamData split per payload arm.
-        assert_eq!(entries.len(), 27);
+        // 33 Message variants, with StreamData split per payload arm.
+        assert_eq!(entries.len(), 34);
         let mut names: Vec<&str> = entries.iter().map(|e| e.variant.as_str()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 27, "duplicate variant names");
+        assert_eq!(names.len(), 34, "duplicate variant names");
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub const STATION_PREFIX: &str = "crates/station/src/";
 /// while holding a lock.
 pub const CONTROL_PREFIX: &str = "crates/control/src/";
 
+/// The frame store runs a dedicated writer thread behind a bounded
+/// queue, so it gets the concurrency rules too.
+pub const STORE_PREFIX: &str = "crates/store/src/";
+
 /// Atomic methods that carry an `Ordering` argument.
 const ATOMIC_METHODS: &[&str] = &[
     "load",

@@ -38,6 +38,7 @@ const REPORT_PREFIXES: &[&str] = &[
     "crates/dsp/src/",
     "crates/link/src/",
     "crates/control/src/",
+    "crates/store/src/",
 ];
 
 /// Runs the reachability analysis over the whole workspace. `sources` and

@@ -22,7 +22,7 @@
 
 use crate::abi::{abi_pass, canonical_entries, AbiSummary, LockState, LOCK_FILE};
 use crate::allow::Allowlist;
-use crate::conc::{conc_pass, CONTROL_PREFIX, STATION_PREFIX};
+use crate::conc::{conc_pass, CONTROL_PREFIX, STATION_PREFIX, STORE_PREFIX};
 use crate::flow::flow_pass;
 use crate::lexer::{lex, strip_test_code, Token};
 use crate::locks::lock_order_pass;
@@ -252,13 +252,14 @@ pub fn check_sources_full(
     let t = Instant::now();
     conc_pass(sources, &parsed, STATION_PREFIX, &mut all);
     conc_pass(sources, &parsed, CONTROL_PREFIX, &mut all);
+    conc_pass(sources, &parsed, STORE_PREFIX, &mut all);
     timings.conc_us = t.elapsed().as_micros();
 
     let t = Instant::now();
     lock_order_pass(
         sources,
         &parsed,
-        &[STATION_PREFIX, CONTROL_PREFIX],
+        &[STATION_PREFIX, CONTROL_PREFIX, STORE_PREFIX],
         &mut all,
     );
     timings.lock_order_us = t.elapsed().as_micros();
@@ -336,6 +337,11 @@ mod tests {
         // full determinism scope on top of panic freedom and units.
         let control = rules_for("crates/control/src/policy.rs");
         assert!(control.determinism && control.panic_freedom && control.unit_safety);
+
+        // The frame store touches the filesystem (wall-clock-legal like
+        // the station) but must stay panic-free with typed units.
+        let store = rules_for("crates/store/src/reader.rs");
+        assert!(!store.determinism && store.panic_freedom && store.unit_safety);
 
         assert!(!rules_for("crates/bench/src/bin/exp_f2.rs").any());
         assert!(!rules_for("crates/core/tests/integration.rs").any());

@@ -5,10 +5,18 @@
 //! bsa-ctl [--addr HOST:PORT | --local] assay  [--seed N]
 //! bsa-ctl [--addr HOST:PORT | --local] stream [--frames N] [--rows N] [--cols N]
 //!                                              [--channels N] [--seed N]
+//! bsa-ctl [--addr HOST:PORT | --local --store DIR] record [--name NAME] [--frames N] ...
+//! bsa-ctl [--addr HOST:PORT | --local --store DIR] recordings
+//! bsa-ctl [--addr HOST:PORT | --local --store DIR] replay [--name NAME] [--chunk N]
 //! ```
 //!
 //! `--local` spins up an in-process station on a loopback port and runs
-//! the command against it — a one-command end-to-end smoke test.
+//! the command against it — a one-command end-to-end smoke test. With
+//! `--store DIR` the local station persists recordings to `DIR`, so a
+//! `record` in one invocation can be `replay`ed by the next.
+//!
+//! `record` starts a recording, streams neuro frames through it, and
+//! stops it — exercising the full start/tee/stop path in one command.
 
 use bsa_link::{CultureSpec, DnaChipSpec, NeuroChipSpec, TargetSpec};
 use bsa_station::{Station, StationClient, StationConfig, StationHandle};
@@ -16,23 +24,32 @@ use bsa_units::Seconds;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: bsa-ctl [--addr HOST:PORT | --local] <stats | assay | stream> [options]\n\
+    "usage: bsa-ctl [--addr HOST:PORT | --local] <stats | assay | stream | record | recordings | replay> [options]\n\
      \n\
      commands:\n\
      stats                      print station counters\n\
      assay  [--seed N]          run a small DNA assay end to end\n\
      stream [--frames N] [--rows N] [--cols N] [--channels N] [--seed N]\n\
      \x20                          record and stream neuro frames\n\
+     record [--name NAME] [--frames N] [--rows N] [--cols N] [--channels N] [--seed N]\n\
+     \x20                          start a store recording, stream through it, stop it\n\
+     recordings                 list the station's stored recordings\n\
+     replay [--name NAME] [--chunk N]\n\
+     \x20                          replay a stored recording as a stream\n\
      \n\
      connection:\n\
      --addr HOST:PORT           connect to a running station (default 127.0.0.1:7801)\n\
-     --local                    run against an in-process station"
+     --local                    run against an in-process station\n\
+     --store DIR                store directory for the --local station"
 }
 
 struct Options {
     addr: String,
     local: bool,
+    store: Option<String>,
     command: String,
+    name: String,
+    chunk: u32,
     frames: u32,
     rows: u16,
     cols: u16,
@@ -44,7 +61,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         addr: "127.0.0.1:7801".into(),
         local: false,
+        store: None,
         command: String::new(),
+        name: "recording".into(),
+        chunk: 0,
         frames: 64,
         rows: 32,
         cols: 32,
@@ -61,6 +81,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--addr" => opts.addr = value_for("--addr")?,
             "--local" => opts.local = true,
+            "--store" => opts.store = Some(value_for("--store")?),
+            "--name" => opts.name = value_for("--name")?,
+            "--chunk" => opts.chunk = parse_num(&value_for("--chunk")?, "--chunk")?,
             "--frames" => opts.frames = parse_num(&value_for("--frames")?, "--frames")?,
             "--rows" => opts.rows = parse_num(&value_for("--rows")?, "--rows")?,
             "--cols" => opts.cols = parse_num(&value_for("--cols")?, "--cols")?,
@@ -89,7 +112,11 @@ where
 fn run(opts: &Options) -> Result<(), String> {
     // Keep the in-process station alive for the whole command.
     let local: Option<StationHandle> = if opts.local {
-        Some(Station::bind(StationConfig::default()).map_err(|e| format!("local bind: {e}"))?)
+        let config = StationConfig {
+            store_root: opts.store.as_ref().map(Into::into),
+            ..StationConfig::default()
+        };
+        Some(Station::bind(config).map_err(|e| format!("local bind: {e}"))?)
     } else {
         None
     };
@@ -185,6 +212,74 @@ fn run(opts: &Options) -> Result<(), String> {
                 stream.chunks,
                 stream.frames_sent,
                 stream.frames_dropped
+            );
+        }
+        "record" => {
+            let attached = client
+                .attach_neuro(&NeuroChipSpec {
+                    rows: opts.rows,
+                    cols: opts.cols,
+                    channels: opts.channels,
+                    seed: opts.seed,
+                    frame_rate_hz: 0.0,
+                })
+                .map_err(|e| e.to_string())?;
+            client
+                .start_recording(attached.chip, &opts.name)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "recording {:?} started on neuro chip {} ({}x{})",
+                opts.name, attached.chip, attached.rows, attached.cols
+            );
+            let stream = client
+                .stream_neuro(
+                    attached.chip,
+                    opts.frames,
+                    0,
+                    Seconds::new(0.0),
+                    &CultureSpec {
+                        seed: opts.seed,
+                        neuron_count: 0,
+                        spike_duration_s: opts.frames as f64 / 2000.0,
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+            let summary = client
+                .stop_recording(attached.chip)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "recorded {} frames ({} streamed to client, {} dropped to disk, {} bytes)",
+                summary.frames_written,
+                stream.frames.len(),
+                summary.frames_dropped,
+                summary.bytes_written
+            );
+        }
+        "recordings" => {
+            let entries = client.recordings().map_err(|e| e.to_string())?;
+            if entries.is_empty() {
+                println!("no recordings");
+            }
+            for e in entries {
+                println!(
+                    "{}  {:?} {}x{}  {} frames  {} bytes  config {:#018x}",
+                    e.name, e.kind, e.rows, e.cols, e.frames, e.bytes, e.config_hash
+                );
+            }
+        }
+        "replay" => {
+            let replayed = client
+                .replay(&opts.name, opts.chunk)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "replayed {:?}: {:?}, {} frames + {} readings in {} chunks ({} sent, {} dropped)",
+                opts.name,
+                replayed.kind,
+                replayed.frames.len(),
+                replayed.readings.len(),
+                replayed.chunks,
+                replayed.frames_sent,
+                replayed.frames_dropped
             );
         }
         other => return Err(format!("unknown command {other}")),

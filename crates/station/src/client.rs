@@ -4,8 +4,8 @@
 
 use bsa_link::{
     read_message, write_message, ChipId, ChipKind, CultureSpec, DnaChipSpec, ErrorCode,
-    FaultPlanSpec, Message, NeuroChipSpec, PixelCount, ProtocolError, StatsSnapshot, StreamPayload,
-    TargetSpec, YieldSummary,
+    FaultPlanSpec, Message, NeuroChipSpec, PixelCount, ProtocolError, RecordingEntry,
+    StatsSnapshot, StreamPayload, TargetSpec, YieldSummary,
 };
 use bsa_units::Seconds;
 use std::fmt;
@@ -142,6 +142,42 @@ pub struct NeuroStream {
     /// Frames the station delivered into the session queue.
     pub frames_sent: u32,
     /// Frames dropped by backpressure.
+    pub frames_dropped: u32,
+    /// Stream chunks received.
+    pub chunks: u32,
+}
+
+/// Accounting for a finalised recording, from
+/// [`StationClient::stop_recording`].
+#[derive(Debug, Clone)]
+pub struct RecordingSummary {
+    /// The finalised recording's name.
+    pub name: String,
+    /// Frames (or DNA readings) persisted to the segment.
+    pub frames_written: u64,
+    /// Frames dropped by the store's bounded writer queue.
+    pub frames_dropped: u64,
+    /// Segment file size in bytes, index footer included.
+    pub bytes_written: u64,
+}
+
+/// A replayed recording, collected by [`StationClient::replay`]. Exactly
+/// one of `frames` / `readings` is populated, according to `kind`.
+#[derive(Debug, Clone)]
+pub struct Replayed {
+    /// Which array kind the recording came from.
+    pub kind: ChipKind,
+    /// Frame height in pixels (neuro recordings).
+    pub rows: u16,
+    /// Frame width in pixels (neuro recordings).
+    pub cols: u16,
+    /// Replayed neuro frames, bit-exact as recorded.
+    pub frames: Vec<Vec<f64>>,
+    /// Replayed DNA count readings.
+    pub readings: Vec<PixelCount>,
+    /// Frames delivered into the session queue.
+    pub frames_sent: u32,
+    /// Frames dropped by backpressure during replay.
     pub frames_dropped: u32,
     /// Stream chunks received.
     pub chunks: u32,
@@ -480,6 +516,138 @@ impl StationClient {
                     for frame in samples.chunks(frame_len) {
                         result.frames.push(frame.to_vec());
                     }
+                }
+                Message::StreamEnd {
+                    frames_sent,
+                    frames_dropped,
+                    ..
+                } => {
+                    result.frames_sent = frames_sent;
+                    result.frames_dropped = frames_dropped;
+                    return Ok(result);
+                }
+                other => return Err(unexpected("StreamData/StreamEnd", &other)),
+            }
+        }
+    }
+
+    /// Starts persisting a chip's streams into the station's store under
+    /// `name`.
+    ///
+    /// # Errors
+    ///
+    /// A station without a store root, a duplicate name, or a bad name
+    /// surface as [`ClientError::Server`] with
+    /// [`ErrorCode::StoreError`].
+    pub fn start_recording(&mut self, chip: ChipId, name: &str) -> Result<(), ClientError> {
+        match self.roundtrip(&Message::StartRecording {
+            chip,
+            name: name.to_string(),
+        })? {
+            Message::RecordingStarted { .. } => Ok(()),
+            other => Err(unexpected("RecordingStarted", &other)),
+        }
+    }
+
+    /// Finalises a chip's recording and returns the persistence
+    /// accounting.
+    ///
+    /// # Errors
+    ///
+    /// A chip with no active recording or a writer I/O failure surfaces
+    /// as [`ClientError::Server`].
+    pub fn stop_recording(&mut self, chip: ChipId) -> Result<RecordingSummary, ClientError> {
+        match self.roundtrip(&Message::StopRecording { chip })? {
+            Message::RecordingStopped {
+                name,
+                frames_written,
+                frames_dropped,
+                bytes_written,
+                ..
+            } => Ok(RecordingSummary {
+                name,
+                frames_written,
+                frames_dropped,
+                bytes_written,
+            }),
+            other => Err(unexpected("RecordingStopped", &other)),
+        }
+    }
+
+    /// Lists the station's stored recordings, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// A station without a store root surfaces as
+    /// [`ClientError::Server`].
+    pub fn recordings(&mut self) -> Result<Vec<RecordingEntry>, ClientError> {
+        match self.roundtrip(&Message::ListRecordings)? {
+            Message::RecordingList { recordings } => Ok(recordings),
+            other => Err(unexpected("RecordingList", &other)),
+        }
+    }
+
+    /// Replays a stored recording and collects the stream.
+    /// `chunk_frames = 0` uses the server default for the recording's
+    /// kind.
+    ///
+    /// # Errors
+    ///
+    /// Unknown or corrupted recordings surface as
+    /// [`ClientError::Server`]; malformed chunks as
+    /// [`ClientError::Unexpected`].
+    pub fn replay(&mut self, name: &str, chunk_frames: u32) -> Result<Replayed, ClientError> {
+        write_message(
+            &mut self.stream,
+            &Message::Replay {
+                name: name.to_string(),
+                chunk_frames,
+            },
+        )?;
+        let mut result = Replayed {
+            kind: ChipKind::Neuro,
+            rows: 0,
+            cols: 0,
+            frames: Vec::new(),
+            readings: Vec::new(),
+            frames_sent: 0,
+            frames_dropped: 0,
+            chunks: 0,
+        };
+        loop {
+            match self.read_reply()? {
+                Message::StreamData {
+                    payload:
+                        StreamPayload::NeuroFrames {
+                            rows,
+                            cols,
+                            samples,
+                            ..
+                        },
+                    ..
+                } => {
+                    let frame_len = usize::from(rows) * usize::from(cols);
+                    if frame_len == 0 || samples.len() % frame_len != 0 {
+                        return Err(ClientError::Unexpected {
+                            expected: "chunk of whole frames",
+                            got: format!("{} samples for {rows}x{cols}", samples.len()),
+                        });
+                    }
+                    result.kind = ChipKind::Neuro;
+                    result.rows = rows;
+                    result.cols = cols;
+                    result.chunks += 1;
+                    for frame in samples.chunks(frame_len) {
+                        result.frames.push(frame.to_vec());
+                    }
+                }
+                Message::StreamData {
+                    payload: StreamPayload::DnaCounts { readings },
+                    ..
+                } => {
+                    result.kind = ChipKind::Dna;
+                    result.chunks += 1;
+                    result.readings.extend(readings);
                 }
                 Message::StreamEnd {
                     frames_sent,

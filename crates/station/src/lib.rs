@@ -45,7 +45,7 @@ mod stats;
 
 pub use client::{
     AssayOutcome, AttachedChip, CalibrationCounts, ClientConfig, ClientError, NeuroStream,
-    StationClient,
+    RecordingSummary, Replayed, StationClient,
 };
 pub use registry::{
     culture_from_spec, dna_config_from_spec, injection_plan_from_spec, neuro_config_from_spec,

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bsa-station [--addr HOST:PORT] [--queue N] [--timeout-secs S] [--max-sessions N]
+//!             [--store DIR]
 //! ```
 
 use bsa_station::{Station, StationConfig};
@@ -10,11 +11,13 @@ use std::time::Duration;
 
 fn usage() -> &'static str {
     "usage: bsa-station [--addr HOST:PORT] [--queue N] [--timeout-secs S] [--max-sessions N]\n\
+     \x20                  [--store DIR]\n\
      \n\
      --addr HOST:PORT   listen address (default 127.0.0.1:7801)\n\
      --queue N          outbound queue depth per session (default 64)\n\
      --timeout-secs S   idle session timeout, 0 = none (default 30)\n\
-     --max-sessions N   concurrent session cap (default 64)"
+     --max-sessions N   concurrent session cap (default 64)\n\
+     --store DIR        recording store directory (default: record/replay disabled)"
 }
 
 fn parse_args(args: &[String]) -> Result<StationConfig, String> {
@@ -47,6 +50,7 @@ fn parse_args(args: &[String]) -> Result<StationConfig, String> {
                     .parse::<u64>()
                     .map_err(|e| format!("--max-sessions: {e}"))?;
             }
+            "--store" => config.store_root = Some(value_for("--store")?.into()),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }

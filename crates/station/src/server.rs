@@ -13,6 +13,7 @@ use crate::stats::StationStats;
 use bsa_link::{write_message, ErrorCode, Message, StatsSnapshot};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -31,6 +32,10 @@ pub struct StationConfig {
     /// Maximum concurrent sessions; further connections are refused with
     /// an `Overloaded` error reply.
     pub max_sessions: u64,
+    /// Directory for persisted recordings (`bsa-store` segment files).
+    /// `None` disables record/replay: the requests fail with a
+    /// `StoreError` reply instead of touching the filesystem.
+    pub store_root: Option<PathBuf>,
 }
 
 impl Default for StationConfig {
@@ -40,6 +45,7 @@ impl Default for StationConfig {
             queue_depth: 64,
             read_timeout: Some(Duration::from_secs(30)),
             max_sessions: 64,
+            store_root: None,
         }
     }
 }
@@ -65,6 +71,7 @@ impl Station {
         let limits = SessionLimits {
             queue_depth: config.queue_depth,
             read_timeout: config.read_timeout,
+            store_root: config.store_root,
         };
         let accept_stats = Arc::clone(&stats);
         let accept_shutdown = Arc::clone(&shutdown);

@@ -25,11 +25,16 @@ use bsa_dsp::masking::PixelMask;
 use bsa_electrochem::sequence::DnaSequence;
 use bsa_link::{
     read_message, write_message, ChipId, ChipKind, ErrorCode, Message, PixelCount, ProtocolError,
-    StreamPayload, PROTOCOL_VERSION,
+    RecordingEntry, StreamPayload, PROTOCOL_VERSION,
+};
+use bsa_store::{
+    decode_dna_reading, decode_neuro_frame, encode_dna_reading, encode_neuro_frame, fnv1a64,
+    frame_payload_len, list_recordings, Recorder, SegmentMeta, SegmentReader, DEFAULT_QUEUE_DEPTH,
 };
 use bsa_units::{Molar, Seconds};
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread;
@@ -103,6 +108,7 @@ impl Outbound {
 pub(crate) struct SessionLimits {
     pub(crate) queue_depth: usize,
     pub(crate) read_timeout: Option<Duration>,
+    pub(crate) store_root: Option<PathBuf>,
 }
 
 /// Runs one session to completion on the current thread. Spawns the
@@ -148,6 +154,8 @@ pub(crate) fn run_session(stream: TcpStream, stats: Arc<StationStats>, limits: &
     let mut session = Session {
         registry: Registry::default(),
         masks: BTreeMap::new(),
+        recorders: BTreeMap::new(),
+        store_root: limits.store_root.clone(),
         out: Outbound {
             tx,
             stats: Arc::clone(&stats),
@@ -187,8 +195,25 @@ struct Session {
     /// before they are queued; an empty/absent mask leaves the stream
     /// path bit-identical to an unmasked session.
     masks: BTreeMap<ChipId, BTreeSet<u32>>,
+    /// Active recordings per chip. Streams from a recorded chip are teed
+    /// into the store's bounded writer queue frame by frame (post-mask,
+    /// so the segment holds exactly what a client would have received);
+    /// dropping the session finalises any recording still open.
+    recorders: BTreeMap<ChipId, ActiveRecording>,
+    /// `bsa-store` root directory; `None` disables record/replay.
+    store_root: Option<PathBuf>,
     out: Outbound,
     stats: Arc<StationStats>,
+}
+
+/// One in-flight recording: the store writer plus the next acquisition
+/// epoch. The epoch is a stream-request ordinal (not wall time), so a
+/// segment written by a deterministic acquisition is itself
+/// deterministic.
+struct ActiveRecording {
+    name: String,
+    recorder: Recorder,
+    epoch: u32,
 }
 
 impl Session {
@@ -211,6 +236,10 @@ impl Session {
             Message::Detach { chip } => {
                 let reply = if self.registry.detach(chip) {
                     self.masks.remove(&chip);
+                    // Dropping the recorder joins its writer thread and
+                    // finalises the segment; the client simply does not
+                    // get the `RecordingStopped` accounting.
+                    self.recorders.remove(&chip);
                     Message::Detached { chip }
                 } else {
                     error_reply(ErrorCode::UnknownChip, format!("no chip {chip}"))
@@ -255,6 +284,19 @@ impl Session {
             Message::QueryStats => self
                 .out
                 .send_control(Message::StatsReport(self.stats.snapshot())),
+            Message::StartRecording { chip, name } => {
+                let reply = self.start_recording(chip, &name);
+                self.out.send_control(reply)
+            }
+            Message::StopRecording { chip } => {
+                let reply = self.stop_recording(chip);
+                self.out.send_control(reply)
+            }
+            Message::ListRecordings => {
+                let reply = self.list_store();
+                self.out.send_control(reply)
+            }
+            Message::Replay { name, chunk_frames } => self.replay(&name, chunk_frames),
             // Server-to-client messages arriving at the server are a
             // client bug, not a transport failure: answer and carry on.
             other => self.out.send_control(error_reply(
@@ -442,6 +484,230 @@ impl Session {
         }
     }
 
+    /// Opens a store segment and begins teeing the chip's streams to it.
+    /// The spec snapshot is the Debug rendering of the *resolved* chip
+    /// configuration (the same one the registry built from the wire
+    /// spec), hashed with FNV-1a-64 so replay consumers can check which
+    /// configuration produced a recording without parsing the spec.
+    fn start_recording(&mut self, id: ChipId, name: &str) -> Message {
+        let Some(root) = self.store_root.clone() else {
+            return error_reply(
+                ErrorCode::StoreError,
+                "station has no store root (start with --store DIR)".into(),
+            );
+        };
+        if self.recorders.contains_key(&id) {
+            return error_reply(
+                ErrorCode::StoreError,
+                format!("chip {id} already recording"),
+            );
+        }
+        let (kind, rows, cols, spec) = match self.registry.get_mut(id) {
+            Some(Chip::Dna { chip, .. }) => {
+                let g = chip.geometry();
+                (
+                    ChipKind::Dna,
+                    g.rows() as u16,
+                    g.cols() as u16,
+                    format!("{:?}", chip.config()),
+                )
+            }
+            Some(Chip::Neuro(chip)) => {
+                let g = chip.config().geometry;
+                (
+                    ChipKind::Neuro,
+                    g.rows() as u16,
+                    g.cols() as u16,
+                    format!("{:?}", chip.config()),
+                )
+            }
+            None => return error_reply(ErrorCode::UnknownChip, format!("no chip {id}")),
+        };
+        let meta = SegmentMeta {
+            chip: id,
+            kind,
+            rows,
+            cols,
+            config_hash: fnv1a64(spec.as_bytes()),
+            spec,
+        };
+        match Recorder::create(
+            &root,
+            name,
+            &meta,
+            frame_payload_len(kind, rows, cols),
+            DEFAULT_QUEUE_DEPTH,
+        ) {
+            Ok(recorder) => {
+                self.recorders.insert(
+                    id,
+                    ActiveRecording {
+                        name: name.to_string(),
+                        recorder,
+                        epoch: 0,
+                    },
+                );
+                Message::RecordingStarted {
+                    chip: id,
+                    name: name.to_string(),
+                }
+            }
+            Err(err) => error_reply(ErrorCode::StoreError, err.to_string()),
+        }
+    }
+
+    /// Finalises a chip's recording and reports the store's own
+    /// sent/dropped accounting (the writer queue drops-and-counts past
+    /// high water, exactly like the outbound stream queue).
+    fn stop_recording(&mut self, id: ChipId) -> Message {
+        let Some(active) = self.recorders.remove(&id) else {
+            return error_reply(ErrorCode::StoreError, format!("chip {id} is not recording"));
+        };
+        match active.recorder.finish() {
+            Ok(summary) => Message::RecordingStopped {
+                chip: id,
+                name: active.name,
+                frames_written: summary.frames_written,
+                frames_dropped: summary.frames_dropped,
+                bytes_written: summary.bytes_written,
+            },
+            Err(err) => error_reply(ErrorCode::StoreError, err.to_string()),
+        }
+    }
+
+    fn list_store(&self) -> Message {
+        let Some(root) = &self.store_root else {
+            return error_reply(
+                ErrorCode::StoreError,
+                "station has no store root (start with --store DIR)".into(),
+            );
+        };
+        match list_recordings(root) {
+            Ok(entries) => Message::RecordingList {
+                recordings: entries
+                    .into_iter()
+                    .map(|e| RecordingEntry {
+                        name: e.name,
+                        kind: e.kind,
+                        rows: e.rows,
+                        cols: e.cols,
+                        frames: e.frames,
+                        bytes: e.bytes,
+                        config_hash: e.config_hash,
+                    })
+                    .collect(),
+            },
+            Err(err) => error_reply(ErrorCode::StoreError, err.to_string()),
+        }
+    }
+
+    /// Streams a stored recording back with the exact `StreamData`*
+    /// `StreamEnd` grammar a live chip produces, under the recorded chip
+    /// id. Neuro payloads are decoded from their raw IEEE-754 bits, so a
+    /// replayed frame is `f64::to_bits`-identical to the recorded one.
+    fn replay(&mut self, name: &str, chunk_frames: u32) -> Result<(), Gone> {
+        let Some(root) = self.store_root.clone() else {
+            return self.out.send_control(error_reply(
+                ErrorCode::StoreError,
+                "station has no store root (start with --store DIR)".into(),
+            ));
+        };
+        let mut reader = match SegmentReader::open_named(&root, name) {
+            Ok(reader) => reader,
+            Err(err) => {
+                return self
+                    .out
+                    .send_control(error_reply(ErrorCode::StoreError, err.to_string()))
+            }
+        };
+        let meta = reader.meta().clone();
+        let id = meta.chip;
+        let frame_count = reader.frames();
+        let chunk = match (meta.kind, chunk_frames) {
+            (ChipKind::Neuro, 0) => u64::from(DEFAULT_CHUNK_FRAMES),
+            (ChipKind::Dna, 0) => DNA_CHUNK_READINGS as u64,
+            (_, n) => u64::from(n),
+        };
+        let mut sent: u32 = 0;
+        let mut dropped: u32 = 0;
+        let mut index = 0u64;
+        let mut seq: u32 = 0;
+        while index < frame_count {
+            let n = chunk.min(frame_count - index);
+            // Assemble one chunk from n consecutive records. A corrupted
+            // record aborts the replay with a typed error reply; the
+            // client's stream loop surfaces it as a server error.
+            let payload = match meta.kind {
+                ChipKind::Neuro => {
+                    let mut samples = Vec::with_capacity(
+                        (n as usize) * usize::from(meta.rows) * usize::from(meta.cols),
+                    );
+                    for i in index..index + n {
+                        let decoded = reader
+                            .frame(i)
+                            .and_then(|frame| decode_neuro_frame(frame.payload, &mut samples));
+                        if let Err(err) = decoded {
+                            return self
+                                .out
+                                .send_control(error_reply(ErrorCode::StoreError, err.to_string()));
+                        }
+                    }
+                    StreamPayload::NeuroFrames {
+                        first_frame: sent.saturating_add(dropped),
+                        rows: meta.rows,
+                        cols: meta.cols,
+                        samples,
+                    }
+                }
+                ChipKind::Dna => {
+                    let mut readings = Vec::with_capacity(n as usize);
+                    for i in index..index + n {
+                        let decoded = reader
+                            .frame(i)
+                            .and_then(|frame| decode_dna_reading(frame.payload));
+                        match decoded {
+                            Ok(reading) => readings.push(reading),
+                            Err(err) => {
+                                return self.out.send_control(error_reply(
+                                    ErrorCode::StoreError,
+                                    err.to_string(),
+                                ))
+                            }
+                        }
+                    }
+                    StreamPayload::DnaCounts { readings }
+                }
+            };
+            match self.out.offer_stream(Message::StreamData {
+                chip: id,
+                seq,
+                payload,
+            })? {
+                Offer::Sent => sent = sent.saturating_add(n as u32),
+                Offer::Dropped => dropped = dropped.saturating_add(n as u32),
+            }
+            seq = seq.wrapping_add(1);
+            index += n;
+        }
+        StationStats::add(&self.stats.frames_served, u64::from(sent));
+        StationStats::add(&self.stats.frames_dropped, u64::from(dropped));
+        self.out.send_control(Message::StreamEnd {
+            chip: id,
+            frames_sent: sent,
+            frames_dropped: dropped,
+        })
+    }
+
+    /// Claims the next recording epoch for an acquisition on `id`, if
+    /// the chip is being recorded.
+    fn tee_epoch(&mut self, id: ChipId) -> Option<u32> {
+        self.recorders.get_mut(&id).map(|active| {
+            let epoch = active.epoch;
+            active.epoch = active.epoch.wrapping_add(1);
+            epoch
+        })
+    }
+
     fn run_assay(&mut self, id: ChipId, stream_counts: bool) -> Result<(), Gone> {
         let readout = match self.registry.get_mut(id) {
             Some(Chip::Dna { chip, sample }) => chip.run_assay(sample),
@@ -457,16 +723,27 @@ impl Session {
                     .send_control(error_reply(ErrorCode::UnknownChip, format!("no chip {id}")))
             }
         };
+        let readings: Vec<PixelCount> = readout
+            .to_readings()
+            .iter()
+            .map(|r| PixelCount {
+                row: r.address.row as u16,
+                col: r.address.col as u16,
+                count: r.count,
+            })
+            .collect();
+        // Tee the whole readout into an active recording (one record per
+        // reading, whether or not the client streamed). Store
+        // backpressure drops-and-counts; I/O failures surface in the
+        // `RecordingStopped` accounting, never in the assay reply.
+        if let Some(epoch) = self.tee_epoch(id) {
+            if let Some(active) = self.recorders.get_mut(&id) {
+                for reading in &readings {
+                    let _ = active.recorder.offer(epoch, encode_dna_reading(reading));
+                }
+            }
+        }
         if stream_counts {
-            let readings: Vec<PixelCount> = readout
-                .to_readings()
-                .iter()
-                .map(|r| PixelCount {
-                    row: r.address.row as u16,
-                    col: r.address.col as u16,
-                    count: r.count,
-                })
-                .collect();
             let mut sent: u32 = 0;
             let mut dropped: u32 = 0;
             for (seq, chunk) in readings.chunks(DNA_CHUNK_READINGS).enumerate() {
@@ -553,6 +830,10 @@ impl Session {
         // chunking must happen on the transmit side — N smaller record()
         // calls would NOT reproduce an in-process record(frames) run.
         let recording = chip.record(&culture, Seconds::new(t0), frames as usize);
+        // Tee epoch for an active recording on this chip: claimed once
+        // per stream request, so identical request sequences produce
+        // identical segments.
+        let tee_epoch = self.tee_epoch(id);
         let mut sent: u32 = 0;
         let mut dropped: u32 = 0;
         let mut outcome = Ok(());
@@ -565,6 +846,20 @@ impl Session {
                 if let Some(mask) = &mask {
                     if let Some(copy) = samples.get_mut(start..) {
                         let _ = mask.interpolate(copy);
+                    }
+                }
+                // Persist the post-mask frame *before* the outbound
+                // offer: the segment records what the chip produced for
+                // the client, independent of TCP backpressure. The store
+                // queue drops-and-counts on its own; I/O failures
+                // surface at `StopRecording`.
+                if let Some(epoch) = tee_epoch {
+                    if let (Some(active), Some(frame_samples)) =
+                        (self.recorders.get_mut(&id), samples.get(start..))
+                    {
+                        let _ = active
+                            .recorder
+                            .offer(epoch, encode_neuro_frame(frame_samples));
                     }
                 }
             }

@@ -426,6 +426,120 @@ fn idle_sessions_are_reaped_and_slots_freed() {
     );
 }
 
+/// The store acceptance test: record a live 128x128 neuro stream and a
+/// DNA assay to disk, then replay both through a *fresh* station session
+/// and require the replayed data to be indistinguishable from the live
+/// acquisition — `f64::to_bits`-identical neuro samples, identical DNA
+/// counts, the same `StreamData`*/`StreamEnd` grammar.
+#[test]
+fn recorded_streams_replay_bit_identical_through_fresh_session() {
+    let store_root = std::env::temp_dir().join(format!("bsa-station-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+    let station = Station::bind(StationConfig {
+        store_root: Some(store_root.clone()),
+        ..StationConfig::default()
+    })
+    .unwrap();
+    let addr = station.addr();
+
+    let spec = neuro_spec(128, 128);
+    let culture = culture_spec(48);
+    let dna_counts;
+    {
+        let mut recorder = StationClient::connect(addr, "recorder").unwrap();
+
+        // Live neuro stream, teed to the store.
+        let attached = recorder.attach_neuro(&spec).unwrap();
+        recorder
+            .start_recording(attached.chip, "neuro-take")
+            .unwrap();
+        let stream = recorder
+            .stream_neuro(attached.chip, 48, 8, Seconds::new(0.0), &culture)
+            .unwrap();
+        assert_eq!(stream.frames_sent + stream.frames_dropped, 48);
+        let summary = recorder.stop_recording(attached.chip).unwrap();
+        assert_eq!(summary.name, "neuro-take");
+        // The tee runs before the outbound offer, so the segment holds
+        // every produced frame whatever TCP backpressure did; the store
+        // queue is deeper than the stream, so nothing drops here either.
+        assert_eq!(summary.frames_written, 48, "store writer fell behind");
+        assert_eq!(summary.frames_dropped, 0);
+        assert!(summary.bytes_written > 0);
+
+        // DNA assay, one record per pixel reading.
+        let dna = recorder
+            .attach_dna(&DnaChipSpec {
+                rows: 0,
+                cols: 0,
+                seed: 42,
+                frame_time_s: 0.0,
+            })
+            .unwrap();
+        let probe = "ACGTACGTACGT".to_string();
+        recorder
+            .configure_assay(
+                dna.chip,
+                vec![probe.clone()],
+                vec![TargetSpec {
+                    sequence: probe,
+                    concentration_molar: 1e-9,
+                }],
+            )
+            .unwrap();
+        recorder.start_recording(dna.chip, "assay-take").unwrap();
+        // Not streamed to the client — the tee persists the readout
+        // independently of `stream_counts`.
+        let outcome = recorder.run_assay(dna.chip, false).unwrap();
+        let summary = recorder.stop_recording(dna.chip).unwrap();
+        assert_eq!(summary.frames_written, 8 * 16);
+        assert_eq!(summary.frames_dropped, 0);
+        dna_counts = outcome.counts;
+    }
+
+    // Fresh session: the catalog lists both takes with their geometry.
+    let mut replayer = StationClient::connect(addr, "replayer").unwrap();
+    let entries = replayer.recordings().unwrap();
+    let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, ["assay-take", "neuro-take"]);
+    let neuro_entry = entries.iter().find(|e| e.name == "neuro-take").unwrap();
+    assert_eq!(neuro_entry.kind, bsa_link::ChipKind::Neuro);
+    assert_eq!((neuro_entry.rows, neuro_entry.cols), (128, 128));
+    assert_eq!(neuro_entry.frames, 48);
+
+    // Replayed neuro frames are bit-identical to an in-process record()
+    // built from the same wire specs — the recording really did capture
+    // the acquisition, not an approximation of it.
+    let replayed = replayer.replay("neuro-take", 0).unwrap();
+    assert_eq!(replayed.kind, bsa_link::ChipKind::Neuro);
+    assert_eq!((replayed.rows, replayed.cols), (128, 128));
+    assert_eq!(replayed.frames_sent + replayed.frames_dropped, 48);
+    assert_eq!(replayed.frames_dropped, 0, "loopback replay fell behind");
+    let reference = reference_frames(&spec, &culture_spec(48), 48);
+    assert_eq!(replayed.frames.len(), reference.len());
+    for (i, (got, want)) in replayed.frames.iter().zip(&reference).enumerate() {
+        assert_eq!(got.len(), want.len(), "frame {i} sample count");
+        for (j, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "frame {i} sample {j}: {g} != {w}");
+        }
+    }
+
+    // Replayed assay readings reproduce the live counts exactly.
+    let assay = replayer.replay("assay-take", 0).unwrap();
+    assert_eq!(assay.kind, bsa_link::ChipKind::Dna);
+    assert_eq!(assay.readings.len(), 8 * 16);
+    for reading in &assay.readings {
+        let idx = usize::from(reading.row) * 16 + usize::from(reading.col);
+        assert_eq!(dna_counts.get(idx).copied(), Some(reading.count));
+    }
+
+    // A bogus name is a typed server error on the same session.
+    let err = replayer.replay("no-such-take", 0).unwrap_err();
+    assert!(matches!(err, bsa_station::ClientError::Server { .. }));
+
+    drop(station);
+    let _ = std::fs::remove_dir_all(&store_root);
+}
+
 /// Pixel masking round-trips: masked pixels are repaired by neighbor
 /// interpolation bit-identically to an in-process `PixelMask` repair of
 /// the same recording, and bad indices get a typed error.

@@ -1,0 +1,194 @@
+//! Corruption soundness for segment files, mirroring the wire-level
+//! suite in `crates/link/tests/roundtrip.rs`: every single-byte
+//! corruption, every truncation and arbitrary garbage must surface as a
+//! typed [`StoreError`] — never a panic, and never a silently wrong
+//! frame. This is the on-disk analogue of the CRC-8 contract the chips
+//! already enforce on their serial words.
+
+#![allow(clippy::unwrap_used)] // tests unwrap idiomatically
+
+use bsa_link::ChipKind;
+use bsa_link::PixelCount;
+use bsa_store::{
+    encode_dna_reading, encode_neuro_frame, fnv1a64, frame_payload_len, Recorder, SegmentMeta,
+    SegmentReader, StoreError,
+};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+fn temp_root(tag: &str) -> PathBuf {
+    let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    let root = std::env::temp_dir().join(format!("bsa-store-cx-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// Builds a small but fully featured segment (multi-frame, multi-epoch)
+/// and returns its raw bytes plus how many frames it holds.
+fn build_segment(kind: ChipKind) -> (Vec<u8>, u64) {
+    let root = temp_root("build");
+    let (rows, cols) = (2u16, 3u16);
+    let spec = format!("spec {{ kind: {kind:?}, rows: {rows}, cols: {cols} }}");
+    let meta = SegmentMeta {
+        chip: 7,
+        kind,
+        rows,
+        cols,
+        config_hash: fnv1a64(spec.as_bytes()),
+        spec,
+    };
+    let payload_len = frame_payload_len(kind, rows, cols);
+    let mut rec = Recorder::create(&root, "probe", &meta, payload_len, 16).unwrap();
+    let frames = 4u64;
+    for f in 0..frames {
+        let payload = match kind {
+            ChipKind::Neuro => {
+                let samples: Vec<f64> = (0..usize::from(rows) * usize::from(cols))
+                    .map(|i| f64::from_bits(0x3FF0_0000_0000_0000 ^ (f * 131 + i as u64)))
+                    .collect();
+                encode_neuro_frame(&samples)
+            }
+            ChipKind::Dna => encode_dna_reading(&PixelCount {
+                row: f as u16,
+                col: (f * 2) as u16,
+                count: f * 1009 + 1,
+            }),
+        };
+        rec.offer((f / 2) as u32, payload).unwrap();
+    }
+    let summary = rec.finish().unwrap();
+    assert_eq!(summary.frames_written, frames);
+    let bytes = std::fs::read(root.join("probe.seg")).unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+    (bytes, frames)
+}
+
+/// Opens the segment and reads every frame; first typed error wins.
+fn read_all(path: &Path) -> Result<Vec<(u64, u32, Vec<u8>)>, StoreError> {
+    let mut reader = SegmentReader::open(path)?;
+    let mut out = Vec::new();
+    for i in 0..reader.frames() {
+        let frame = reader.frame(i)?;
+        out.push((frame.index, frame.epoch, frame.payload.to_vec()));
+    }
+    Ok(out)
+}
+
+fn assert_corruption_detected(kind: ChipKind) {
+    let (good, frames) = build_segment(kind);
+    let root = temp_root("flip");
+    std::fs::create_dir_all(&root).unwrap();
+    let path = root.join("corrupt.seg");
+
+    // Sanity: the pristine image reads back all frames.
+    std::fs::write(&path, &good).unwrap();
+    assert_eq!(read_all(&path).unwrap().len() as u64, frames);
+
+    // Exhaustive single-byte corruption: low bit, high bit, full byte.
+    // Every file byte is covered by a CRC-8 trailer or pinned by a
+    // structural equation, so each flip must yield a typed error.
+    let stride = if cfg!(miri) { 13 } else { 1 };
+    for pos in (0..good.len()).step_by(stride) {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut bad = good.clone();
+            bad[pos] ^= mask;
+            std::fs::write(&path, &bad).unwrap();
+            let outcome = read_all(&path);
+            assert!(
+                outcome.is_err(),
+                "{kind:?}: flip mask {mask:#04x} at byte {pos}/{} went undetected",
+                good.len()
+            );
+        }
+    }
+
+    // Truncation at every prefix length is detected, including torn
+    // in-progress recordings (header only, no footer).
+    for len in (0..good.len()).step_by(stride) {
+        std::fs::write(&path, &good[..len]).unwrap();
+        assert!(
+            read_all(&path).is_err(),
+            "{kind:?}: truncation to {len}/{} bytes went undetected",
+            good.len()
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn neuro_single_byte_corruption_always_fails_typed() {
+    assert_corruption_detected(ChipKind::Neuro);
+}
+
+#[test]
+fn dna_single_byte_corruption_always_fails_typed() {
+    assert_corruption_detected(ChipKind::Dna);
+}
+
+#[test]
+fn error_taxonomy_is_specific() {
+    let (good, _) = build_segment(ChipKind::Neuro);
+    let root = temp_root("taxonomy");
+    std::fs::create_dir_all(&root).unwrap();
+    let path = root.join("t.seg");
+
+    // Header magic.
+    let mut bad = good.clone();
+    bad[0] ^= 0xFF;
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        read_all(&path),
+        Err(StoreError::BadMagic { .. } | StoreError::BadCrc { .. })
+    ));
+
+    // Footer magic (last four bytes).
+    let mut bad = good.clone();
+    let n = bad.len();
+    bad[n - 1] ^= 0xFF;
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(read_all(&path), Err(StoreError::BadMagic { .. })));
+
+    // Empty file.
+    std::fs::write(&path, b"").unwrap();
+    assert!(matches!(read_all(&path), Err(StoreError::Truncated { .. })));
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: if cfg!(miri) { 4 } else { 64 },
+        .. ProptestConfig::default()
+    })]
+
+    /// Arbitrary garbage never panics the reader and never yields frames.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let root = temp_root("fuzz");
+        std::fs::create_dir_all(&root).unwrap();
+        let path = root.join("junk.seg");
+        std::fs::write(&path, &bytes).unwrap();
+        prop_assert!(read_all(&path).is_err());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// A valid segment with a random byte XORed by a random non-zero
+    /// mask is always rejected typed.
+    #[test]
+    fn random_flips_are_rejected(pos_seed in any::<u64>(), mask in 1u8..=255) {
+        let (good, _) = build_segment(ChipKind::Neuro);
+        let pos = (pos_seed % good.len() as u64) as usize;
+        let mut bad = good;
+        bad[pos] ^= mask;
+        let root = temp_root("pflip");
+        std::fs::create_dir_all(&root).unwrap();
+        let path = root.join("p.seg");
+        std::fs::write(&path, &bad).unwrap();
+        prop_assert!(read_all(&path).is_err());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

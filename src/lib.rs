@@ -20,6 +20,8 @@
 //! * [`screening`] — the Fig. 1 drug-screening pipeline model
 //!   (`bsa-screening`).
 //! * [`link`] — the versioned binary wire protocol (`bsa-link`).
+//! * [`store`] — the persistent append-only frame store behind the
+//!   station's record & replay (`bsa-store`).
 //! * [`station`] — the multi-chip TCP acquisition server and client
 //!   (`bsa-station`).
 //! * [`control`] — the closed-loop recovery controller that keeps a
@@ -37,4 +39,5 @@ pub use bsa_link as link;
 pub use bsa_neuro as neuro;
 pub use bsa_screening as screening;
 pub use bsa_station as station;
+pub use bsa_store as store;
 pub use bsa_units as units;
