@@ -35,6 +35,12 @@ pub const FRAME_OVERHEAD: usize = HEADER_LEN + 1;
 /// field cannot demand an absurd allocation.
 pub const MAX_PAYLOAD: usize = 1 << 24;
 
+/// Hard cap on any frame-sized buffer allocation: the largest whole
+/// frame body (maximal payload plus CRC trailer), checked explicitly
+/// before `read_message` allocates. Guarantees `len + 1` cannot
+/// overflow for any length that passes the bound checks.
+pub const MAX_FRAME_LEN: usize = MAX_PAYLOAD + FRAME_OVERHEAD;
+
 /// Encodes a message into one complete frame.
 #[must_use]
 pub fn encode_frame(msg: &Message) -> Vec<u8> {
@@ -137,7 +143,14 @@ pub fn read_message<R: Read>(reader: &mut R) -> Result<Message, ProtocolError> {
     if len > MAX_PAYLOAD {
         return Err(ProtocolError::FrameTooLarge { len });
     }
-    let mut rest_buf = vec![0u8; len + 1];
+    // `len ≤ MAX_PAYLOAD`, so `len + 1` (payload + CRC trailer) cannot
+    // overflow; the explicit cap keeps the allocation provably below
+    // MAX_FRAME_LEN even if the bounds above ever drift.
+    let body_len = len + 1;
+    if body_len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge { len });
+    }
+    let mut rest_buf = vec![0u8; body_len];
     reader.read_exact(&mut rest_buf)?;
     let (payload, crc_byte) = rest_buf.split_at(len);
     let got = crc_byte.first().copied().unwrap_or(0);
@@ -226,6 +239,57 @@ mod tests {
             read_message(&mut cursor),
             Err(ProtocolError::FrameTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn maximal_declared_length_is_read_not_rejected() {
+        // A frame declaring exactly MAX_PAYLOAD must pass the length
+        // bounds: the reader sizes its buffer at MAX_PAYLOAD + 1 (the
+        // largest value `body_len` can take, still under MAX_FRAME_LEN)
+        // and reads the full body. The all-zero payload then fails at
+        // the decode stage — typed, never FrameTooLarge and never a
+        // short read.
+        let mut frame = Vec::with_capacity(MAX_FRAME_LEN);
+        frame.extend_from_slice(&MAGIC);
+        frame.push(PROTOCOL_VERSION);
+        frame.extend_from_slice(&(MAX_PAYLOAD as u32).to_le_bytes());
+        frame.resize(HEADER_LEN + MAX_PAYLOAD, 0);
+        frame.push(crc8(&frame));
+        assert_eq!(frame.len(), MAX_FRAME_LEN);
+        let mut cursor = Cursor::new(frame);
+        let err = read_message(&mut cursor).unwrap_err();
+        assert!(
+            !matches!(
+                err,
+                ProtocolError::FrameTooLarge { .. } | ProtocolError::Io(_)
+            ),
+            "maximal frame rejected before decode: {err}"
+        );
+    }
+
+    #[test]
+    fn large_stream_chunk_roundtrips() {
+        // A realistic worst-case payload (a 64-frame chunk of a
+        // 128x128 neuro array, ~8 MiB of samples) survives the framed
+        // write/read path bit-exactly.
+        let samples: Vec<f64> = (0..64usize * 128 * 128)
+            .map(|i| f64::from_bits(0x3FF0_0000_0000_0000 ^ i as u64))
+            .collect();
+        let msg = Message::StreamData {
+            chip: 3,
+            seq: 7,
+            payload: crate::message::StreamPayload::NeuroFrames {
+                first_frame: 0,
+                rows: 128,
+                cols: 128,
+                samples,
+            },
+        };
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        assert!(buf.len() < MAX_FRAME_LEN);
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_message(&mut cursor).unwrap(), msg);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Seeded interprocedural violations for `flow.summary` (semantic lint
+//! fixture — lexed and parsed, never compiled).
+//!
+//! `flow.summary` fires when a call passes a constant index to a
+//! function whose summary proves that parameter unconditionally indexes
+//! another parameter, and the caller's own interval facts prove the
+//! passed sequence is too short. The unmarked callers at the bottom are
+//! the negative space: in-bounds constants and self-guarding callees.
+
+/// The callee indexes `xs` with `i` unconditionally: its summary
+/// publishes the requirement `i < xs.len()`.
+fn pick(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+
+/// Constant index 9 into an exactly-4-element array: definite
+/// out-of-bounds across the function boundary.
+fn caller_too_short() -> u32 {
+    let a = [0u32; 4];
+    pick(&a, 9) //~ flow.summary
+}
+
+/// The same contract violated through a second caller with a different
+/// local length fact.
+fn caller_one_past_end() -> u32 {
+    let small = [1u32; 2];
+    pick(&small, 2) //~ flow.summary
+}
+
+// ---------------------------------------------------------------------------
+// Negative space — must stay silent
+// ---------------------------------------------------------------------------
+
+/// Constant index strictly below the proven length.
+fn caller_in_bounds() -> u32 {
+    let a = [0u32; 4];
+    pick(&a, 3)
+}
+
+/// A callee that guards its own index publishes no requirement.
+fn pick_guarded(xs: &[u32], i: usize) -> u32 {
+    if i < xs.len() {
+        xs[i]
+    } else {
+        0
+    }
+}
+
+fn caller_of_guarded() -> u32 {
+    let a = [0u32; 4];
+    pick_guarded(&a, 9)
+}

@@ -31,6 +31,7 @@ use std::ops::Range;
 use crate::lexer::Token;
 use crate::parser::{FnItem, ParsedFile};
 use crate::rules::{index_site, suggested_unit_type, violation, Violation};
+use crate::summary::{RetContract, Summaries};
 
 /// The `bsa-units` newtypes recognised as dimension constructors.
 const UNIT_TYPES: &[&str] = &[
@@ -83,6 +84,7 @@ pub fn flow_pass(
     tokens: &[Token],
     parsed: &ParsedFile,
     check_units: bool,
+    summaries: &Summaries,
     out: &mut Vec<Violation>,
 ) -> FileProofs {
     let mut proofs = FileProofs::default();
@@ -96,7 +98,7 @@ pub fn flow_pass(
 
     let mut proven_positions: BTreeSet<usize> = BTreeSet::new();
     for f in &parsed.fns {
-        let facts = collect_facts(tokens, f);
+        let facts = collect_facts(tokens, f, summaries);
         prove_sites(file, tokens, f, &facts, &mut proven_positions, out);
         division_check(file, tokens, f, &facts, out);
         if check_units {
@@ -119,7 +121,7 @@ pub fn flow_pass(
 
 /// One interval fact, valid over a token-index scope.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Fact {
+pub(crate) enum Fact {
     /// `var + max_off < seq.len()` — proves `seq[var + c]` for
     /// `c <= max_off`, plus the range positions `seq[var..]` / `seq[..var]`.
     VarBound {
@@ -135,15 +137,25 @@ enum Fact {
     /// `seq.len() == len` exactly (a `[e; N]` array binding) — proves
     /// constant indices below `len` and *refutes* those at or above it.
     ExactLen { seq: String, len: u64 },
+    /// `seq.len() == path` for a symbolic count (a `vec![e; n]` binding or
+    /// `assert_eq!(seq.len(), n)`) — combines with [`Fact::VarLtPath`]
+    /// and with `seq[e % path]` modulo indices.
+    EqLenPath { seq: String, path: String },
+    /// `var < path` for a symbolic bound (a guard against a count
+    /// variable, or a function-summary contract at a call site).
+    VarLtPath { var: String, path: String },
+    /// `var <= max` for a constant bound (a `.min(c)`-shaped function
+    /// summary) — proves `seq[var + c]` once a length fact covers it.
+    VarLeConst { var: String, max: u64 },
     /// `var` is bound to the integer constant zero (division tracking).
     ZeroConst { var: String },
 }
 
 #[derive(Debug, Clone)]
-struct ScopedFact {
-    fact: Fact,
+pub(crate) struct ScopedFact {
+    pub(crate) fact: Fact,
     /// Token-index range (absolute within the file) where the fact holds.
-    scope: Range<usize>,
+    pub(crate) scope: Range<usize>,
     /// When `Some(k)`, the fact came from a `seq.len() - k` subtraction
     /// and is only valid if `seq.len() >= k` where it was formed — in a
     /// release build the subtraction would otherwise wrap rather than
@@ -169,21 +181,21 @@ const SHRINK_METHODS: &[&str] = &[
     "dedup",
 ];
 
-fn tok_ident(tokens: &[Token], i: usize) -> Option<&str> {
+pub(crate) fn tok_ident(tokens: &[Token], i: usize) -> Option<&str> {
     tokens.get(i).and_then(|t| t.ident())
 }
 
-fn tok_punct(tokens: &[Token], i: usize, c: char) -> bool {
+pub(crate) fn tok_punct(tokens: &[Token], i: usize, c: char) -> bool {
     tokens.get(i).is_some_and(|t| t.is_punct(c))
 }
 
-fn tok_int(tokens: &[Token], i: usize) -> Option<u64> {
+pub(crate) fn tok_int(tokens: &[Token], i: usize) -> Option<u64> {
     tokens.get(i).and_then(|t| t.int_value())
 }
 
 /// Finds the matching close bracket for the open bracket at `open`
 /// (`(`, `[` or `{`), counting nesting of that pair only.
-fn matching(tokens: &[Token], open: usize) -> Option<usize> {
+pub(crate) fn matching(tokens: &[Token], open: usize) -> Option<usize> {
     let (o, c) = match tokens.get(open) {
         Some(t) if t.is_punct('(') => ('(', ')'),
         Some(t) if t.is_punct('[') => ('[', ']'),
@@ -207,7 +219,7 @@ fn matching(tokens: &[Token], open: usize) -> Option<usize> {
 /// End of the innermost block enclosing position `from` (exclusive): the
 /// first `}` whose matching `{` opened before `from`. Scanning forward,
 /// that is the first point where brace depth goes negative.
-fn enclosing_block_end(tokens: &[Token], from: usize, limit: usize) -> usize {
+pub(crate) fn enclosing_block_end(tokens: &[Token], from: usize, limit: usize) -> usize {
     let mut depth = 0i64;
     let mut j = from;
     while j < limit {
@@ -229,7 +241,7 @@ fn enclosing_block_end(tokens: &[Token], from: usize, limit: usize) -> usize {
 /// Parses a dotted/`::` path *ending* at token `end` (inclusive), walking
 /// backwards. Returns the normalized path string (`self.rows`,
 /// `Base::ALL`). `None` if `end` is not an identifier.
-fn path_ending_at(tokens: &[Token], end: usize) -> Option<String> {
+pub(crate) fn path_ending_at(tokens: &[Token], end: usize) -> Option<String> {
     tok_ident(tokens, end)?;
     let mut parts: Vec<String> = Vec::new();
     let mut i = end;
@@ -256,7 +268,7 @@ fn path_ending_at(tokens: &[Token], end: usize) -> Option<String> {
 
 /// Parses a dotted/`::` path *starting* at token `start`. Returns the
 /// normalized string and the index one past its last token.
-fn path_starting_at(tokens: &[Token], start: usize) -> Option<(String, usize)> {
+pub(crate) fn path_starting_at(tokens: &[Token], start: usize) -> Option<(String, usize)> {
     tok_ident(tokens, start)?;
     let mut end = start;
     loop {
@@ -276,7 +288,7 @@ fn path_starting_at(tokens: &[Token], start: usize) -> Option<(String, usize)> {
 
 /// Matches `PATH . len ( )` starting at `start`; returns the path and the
 /// index one past the closing paren.
-fn len_call_at(tokens: &[Token], start: usize) -> Option<(String, usize)> {
+pub(crate) fn len_call_at(tokens: &[Token], start: usize) -> Option<(String, usize)> {
     let (path, after) = path_starting_at(tokens, start)?;
     // The path parser swallowed `.len` as its final segment.
     let stripped = path.strip_suffix(".len")?;
@@ -290,7 +302,7 @@ fn len_call_at(tokens: &[Token], start: usize) -> Option<(String, usize)> {
 /// Matches `PATH . len ( ) [- k]` filling `range`; `k = 0` when there is
 /// no subtraction. Returns `(path, k)` only if the tokens span exactly
 /// `range` (no trailing residue).
-fn len_minus_expr(tokens: &[Token], range: &Range<usize>) -> Option<(String, u64)> {
+pub(crate) fn len_minus_expr(tokens: &[Token], range: &Range<usize>) -> Option<(String, u64)> {
     let (path, after) = len_call_at(tokens, range.start)?;
     if after == range.end {
         return Some((path, 0));
@@ -305,22 +317,29 @@ fn len_minus_expr(tokens: &[Token], range: &Range<usize>) -> Option<(String, u64
 }
 
 /// Last segment of a normalized path (`self.rows` → `rows`).
-fn last_segment(path: &str) -> &str {
+pub(crate) fn last_segment(path: &str) -> &str {
     path.rsplit(['.', ':']).next().unwrap_or(path)
 }
 
-/// Harvests scoped interval facts from one function body.
-fn collect_facts(tokens: &[Token], f: &FnItem) -> Vec<ScopedFact> {
+/// Harvests scoped interval facts from one function body. `summaries`
+/// supplies cross-function return-bound contracts consumed at call-site
+/// bindings and for-loop iterators (see `crate::summary`).
+pub(crate) fn collect_facts(
+    tokens: &[Token],
+    f: &FnItem,
+    summaries: &Summaries,
+) -> Vec<ScopedFact> {
     let body = f.body.clone();
     let mut facts: Vec<ScopedFact> = Vec::new();
     let mut i = body.start;
     while i < body.end {
         if let Some(name) = tok_ident(tokens, i) {
             match name {
-                "for" => for_loop_facts(tokens, i, &body, &mut facts),
+                "for" => for_loop_facts(tokens, i, &body, summaries, &mut facts),
+                "while" => while_facts(tokens, i, &body, &mut facts),
                 "if" => if_facts(tokens, i, &body, &mut facts),
                 "assert" | "assert_eq" => assert_facts(tokens, i, &body, &mut facts),
-                "let" => let_facts(tokens, i, &body, &mut facts),
+                "let" => let_facts(tokens, i, &body, summaries, &mut facts),
                 "windows" | "chunks_exact" => {
                     closure_window_facts(tokens, i, &body, &mut facts);
                 }
@@ -366,10 +385,17 @@ fn collect_facts(tokens: &[Token], f: &FnItem) -> Vec<ScopedFact> {
     facts
 }
 
-/// `for PAT in ITER { .. }` — bounds from the three iterator shapes we
-/// recognise: `0..len`-style ranges, `.iter().enumerate()`, and
-/// `windows(k)` / `chunks_exact(k)`.
-fn for_loop_facts(tokens: &[Token], at: usize, body: &Range<usize>, facts: &mut Vec<ScopedFact>) {
+/// `for PAT in ITER { .. }` — bounds from the iterator shapes we
+/// recognise: `0..len`-style ranges, `.iter().enumerate()`,
+/// `windows(k)` / `chunks_exact(k)`, and calls to functions whose
+/// summary promises every yielded element is below a parameter.
+fn for_loop_facts(
+    tokens: &[Token],
+    at: usize,
+    body: &Range<usize>,
+    summaries: &Summaries,
+    facts: &mut Vec<ScopedFact>,
+) {
     // Pattern: single ident, or a tuple whose first ident is the index.
     let (var, mut j) = if let Some(v) = tok_ident(tokens, at + 1) {
         (v.to_string(), at + 2)
@@ -501,7 +527,74 @@ fn for_loop_facts(tokens: &[Token], at: usize, body: &Range<usize>, facts: &mut 
                 return;
             }
         }
+        // `for v in f(a, b, ..) {}` where `f`'s summary promises every
+        // yielded element is `< param k` — bind `v < arg_k` in the body.
+        if let Some(k) = summaries.elems_lt_param(&path) {
+            if tok_punct(tokens, after, '(')
+                && matching(tokens, after).map(|c| c + 1) == Some(iter.end)
+            {
+                if let Some(close) = matching(tokens, after) {
+                    if let Some(arg) = call_arg_path(tokens, after + 1, close, k) {
+                        facts.push(ScopedFact {
+                            needs_len: None,
+                            fact: Fact::VarLtPath { var, path: arg },
+                            scope,
+                        });
+                    }
+                }
+            }
+        }
     }
+}
+
+/// Splits the argument list in `(open+1..close)` on depth-0 commas and
+/// returns argument `k` as a normalized path (a leading `&`/`&mut` is
+/// stripped); `None` when the argument is not a bare path.
+pub(crate) fn call_arg_path(
+    tokens: &[Token],
+    args_start: usize,
+    close: usize,
+    k: usize,
+) -> Option<String> {
+    let range = call_arg_range(tokens, args_start, close, k)?;
+    let mut start = range.start;
+    if tok_punct(tokens, start, '&') {
+        start += 1;
+        if tok_ident(tokens, start) == Some("mut") {
+            start += 1;
+        }
+    }
+    let (path, after) = path_starting_at(tokens, start)?;
+    (after == range.end).then_some(path)
+}
+
+/// Token range of argument `k` in the argument list `(args_start..close)`.
+pub(crate) fn call_arg_range(
+    tokens: &[Token],
+    args_start: usize,
+    close: usize,
+    k: usize,
+) -> Option<Range<usize>> {
+    let mut depth = 0i64;
+    let mut idx = 0usize;
+    let mut start = args_start;
+    let mut j = args_start;
+    while j < close {
+        match tokens.get(j) {
+            Some(t) if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') => depth += 1,
+            Some(t) if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') => depth -= 1,
+            Some(t) if t.is_punct(',') && depth == 0 => {
+                if idx == k {
+                    return Some(start..j);
+                }
+                idx += 1;
+                start = j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (idx == k && start < close).then_some(start..close)
 }
 
 /// `.windows(k)` / `.chunks_exact(k)` followed by a closure-taking
@@ -554,7 +647,7 @@ fn closure_window_facts(
 /// Splits a condition range on a depth-0 two-token punct pair (`&&` as
 /// `('&','&')`, `||` as `('|','|')`). Returns `None` if the *other* pair
 /// appears at depth 0 (mixed conjunction/disjunction — give up).
-fn split_condition(
+pub(crate) fn split_condition(
     tokens: &[Token],
     cond: &Range<usize>,
     pair: char,
@@ -586,17 +679,21 @@ fn split_condition(
 
 /// A comparison operator split out of the token stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Cmp {
+pub(crate) enum Cmp {
     Lt,
     Le,
     Gt,
     Ge,
     Eq,
+    Ne,
 }
 
 /// Finds the first depth-0 comparison in `range`; returns
 /// (lhs, op, rhs-start).
-fn find_cmp(tokens: &[Token], range: &Range<usize>) -> Option<(Range<usize>, Cmp, usize)> {
+pub(crate) fn find_cmp(
+    tokens: &[Token],
+    range: &Range<usize>,
+) -> Option<(Range<usize>, Cmp, usize)> {
     let mut depth = 0i64;
     let mut j = range.start;
     while j < range.end {
@@ -611,6 +708,8 @@ fn find_cmp(tokens: &[Token], range: &Range<usize>) -> Option<(Range<usize>, Cmp
                     Some(if two_eq { (Cmp::Ge, 2) } else { (Cmp::Gt, 1) })
                 } else if t.is_punct('=') && two_eq {
                     Some((Cmp::Eq, 2))
+                } else if t.is_punct('!') && two_eq {
+                    Some((Cmp::Ne, 2))
                 } else {
                     None
                 };
@@ -625,16 +724,21 @@ fn find_cmp(tokens: &[Token], range: &Range<usize>) -> Option<(Range<usize>, Cmp
     None
 }
 
-/// Matches `var [+ c]` spanning exactly `range`; returns (var, c).
-fn var_plus_const(tokens: &[Token], range: &Range<usize>) -> Option<(String, u64)> {
-    let var = tok_ident(tokens, range.start)?;
+/// Matches `[*]var [+ c]` spanning exactly `range`; returns (var, c).
+/// A leading `*` (deref of a copied index) binds the same variable.
+pub(crate) fn var_plus_const(tokens: &[Token], range: &Range<usize>) -> Option<(String, u64)> {
+    let mut start = range.start;
+    if tok_punct(tokens, start, '*') && tok_ident(tokens, start + 1).is_some() {
+        start += 1;
+    }
+    let var = tok_ident(tokens, start)?;
     // Reject dotted paths as the variable — bounds on fields are killed
     // too coarsely to be worth tracking.
-    if range.start + 1 == range.end {
+    if start + 1 == range.end {
         return Some((var.to_string(), 0));
     }
-    if tok_punct(tokens, range.start + 1, '+') && range.start + 3 == range.end {
-        let c = tok_int(tokens, range.start + 2)?;
+    if tok_punct(tokens, start + 1, '+') && start + 3 == range.end {
+        let c = tok_int(tokens, start + 2)?;
         return Some((var.to_string(), c));
     }
     None
@@ -695,21 +799,31 @@ fn positive_fact(tokens: &[Token], conjunct: &Range<usize>) -> Option<Fact> {
     }
     // `var [+ c] CMP PATH.len() [- s]`
     let (var, c) = var_plus_const(tokens, &lhs)?;
-    let (seq, s) = len_minus_expr(tokens, &rhs)?;
-    match op {
-        Cmp::Lt => Some(Fact::VarBound {
-            var,
-            seq,
-            max_off: c + s,
-        }),
-        Cmp::Le if c + s >= 1 => Some(Fact::VarBound {
-            var,
-            seq,
-            max_off: c + s - 1,
-        }),
-        Cmp::Le => Some(Fact::UpToLen { var, seq }),
-        _ => None,
+    if let Some((seq, s)) = len_minus_expr(tokens, &rhs) {
+        return match op {
+            Cmp::Lt => Some(Fact::VarBound {
+                var,
+                seq,
+                max_off: c + s,
+            }),
+            Cmp::Le if c + s >= 1 => Some(Fact::VarBound {
+                var,
+                seq,
+                max_off: c + s - 1,
+            }),
+            Cmp::Le => Some(Fact::UpToLen { var, seq }),
+            _ => None,
+        };
     }
+    // `[*]var < PATH` against a symbolic count (not a `.len()` call).
+    if c == 0 && op == Cmp::Lt {
+        if let Some((path, after)) = path_starting_at(tokens, rhs.start) {
+            if after == rhs.end {
+                return Some(Fact::VarLtPath { var, path });
+            }
+        }
+    }
+    None
 }
 
 /// Facts the *negation* of a disjunct establishes (early-exit guards).
@@ -749,23 +863,34 @@ fn negated_fact(tokens: &[Token], disjunct: &Range<usize>) -> Option<Fact> {
     // `var [+ c] >= PATH.len()` → ¬ → var + c < len;
     // `var [+ c] > PATH.len()` → ¬ → var + c ≤ len.
     let (var, c) = var_plus_const(tokens, &lhs)?;
-    let (seq, 0) = len_minus_expr(tokens, &rhs)? else {
-        return None;
-    };
-    match op {
-        Cmp::Ge => Some(Fact::VarBound {
-            var,
-            seq,
-            max_off: c,
-        }),
-        Cmp::Gt if c >= 1 => Some(Fact::VarBound {
-            var,
-            seq,
-            max_off: c - 1,
-        }),
-        Cmp::Gt => Some(Fact::UpToLen { var, seq }),
-        _ => None,
+    if let Some((seq, s)) = len_minus_expr(tokens, &rhs) {
+        if s != 0 {
+            return None;
+        }
+        return match op {
+            Cmp::Ge => Some(Fact::VarBound {
+                var,
+                seq,
+                max_off: c,
+            }),
+            Cmp::Gt if c >= 1 => Some(Fact::VarBound {
+                var,
+                seq,
+                max_off: c - 1,
+            }),
+            Cmp::Gt => Some(Fact::UpToLen { var, seq }),
+            _ => None,
+        };
     }
+    // `[*]var >= PATH` → ¬ → var < PATH (symbolic count).
+    if c == 0 && op == Cmp::Ge {
+        if let Some((path, after)) = path_starting_at(tokens, rhs.start) {
+            if after == rhs.end {
+                return Some(Fact::VarLtPath { var, path });
+            }
+        }
+    }
+    None
 }
 
 /// `if COND { .. }`: either a plain guard (facts hold inside the block) or
@@ -832,6 +957,48 @@ fn if_facts(tokens: &[Token], at: usize, body: &Range<usize>, facts: &mut Vec<Sc
     }
 }
 
+/// `while COND { .. }`: facts from the condition hold inside the body.
+/// This is sound with the shared [`kill_scan`]: the condition re-holds at
+/// the top of every iteration, and the scan truncates each fact at the
+/// first in-body mutation of anything it mentions, so only uses dominated
+/// by the loop-head check remain covered.
+fn while_facts(tokens: &[Token], at: usize, body: &Range<usize>, facts: &mut Vec<ScopedFact>) {
+    if tok_ident(tokens, at + 1) == Some("let") {
+        return;
+    }
+    let mut depth = 0i64;
+    let mut open = None;
+    let mut j = at + 1;
+    while j < body.end {
+        match tokens.get(j) {
+            Some(t) if t.is_punct('(') || t.is_punct('[') => depth += 1,
+            Some(t) if t.is_punct(')') || t.is_punct(']') => depth -= 1,
+            Some(t) if t.is_punct('{') && depth == 0 => {
+                open = Some(j);
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let Some(open) = open else { return };
+    let Some(close) = matching(tokens, open) else {
+        return;
+    };
+    let cond = at + 1..open;
+    if let Some(conjuncts) = split_condition(tokens, &cond, '&', '|') {
+        for c in conjuncts {
+            if let Some(fact) = positive_fact(tokens, &c) {
+                facts.push(ScopedFact {
+                    needs_len: None,
+                    fact,
+                    scope: open..close + 1,
+                });
+            }
+        }
+    }
+}
+
 /// `assert!(COND)` / `assert_eq!(PATH.len(), k)` hold for the rest of the
 /// enclosing block. `debug_assert!` is deliberately ignored — it vanishes
 /// in release builds, so it proves nothing.
@@ -845,24 +1012,26 @@ fn assert_facts(tokens: &[Token], at: usize, body: &Range<usize>, facts: &mut Ve
     let scope = close + 1..enclosing_block_end(tokens, close + 1, body.end);
     let inner = at + 3..close;
     if tok_ident(tokens, at) == Some("assert_eq") {
-        // `assert_eq!(PATH.len(), k)` (either operand order).
+        // `assert_eq!(PATH.len(), k[, msg..])` (either operand order, a
+        // trailing format message tolerated): `k` a literal gives an
+        // exact length, `k` a path gives a symbolic length equation.
         let mut depth = 0i64;
-        let mut comma = None;
+        let mut commas = Vec::new();
         let mut j = inner.start;
         while j < inner.end {
             match tokens.get(j) {
                 Some(t) if t.is_punct('(') || t.is_punct('[') => depth += 1,
                 Some(t) if t.is_punct(')') || t.is_punct(']') => depth -= 1,
-                Some(t) if t.is_punct(',') && depth == 0 => {
-                    comma = Some(j);
-                    break;
-                }
+                Some(t) if t.is_punct(',') && depth == 0 => commas.push(j),
                 _ => {}
             }
             j += 1;
         }
-        let Some(comma) = comma else { return };
-        let (a, b) = (inner.start..comma, comma + 1..inner.end);
+        let Some(first) = commas.first().copied() else {
+            return;
+        };
+        let second = commas.get(1).copied().unwrap_or(inner.end);
+        let (a, b) = (inner.start..first, first + 1..second);
         for (len_side, k_side) in [(&a, &b), (&b, &a)] {
             if let Some((seq, 0)) = len_minus_expr(tokens, len_side) {
                 if let Some(k) = tok_int(tokens, k_side.start) {
@@ -870,6 +1039,16 @@ fn assert_facts(tokens: &[Token], at: usize, body: &Range<usize>, facts: &mut Ve
                         facts.push(ScopedFact {
                             needs_len: None,
                             fact: Fact::ExactLen { seq, len: k },
+                            scope,
+                        });
+                        return;
+                    }
+                }
+                if let Some((path, after)) = path_starting_at(tokens, k_side.start) {
+                    if after == k_side.end {
+                        facts.push(ScopedFact {
+                            needs_len: None,
+                            fact: Fact::EqLenPath { seq, path },
                             scope,
                         });
                         return;
@@ -895,8 +1074,15 @@ fn assert_facts(tokens: &[Token], at: usize, body: &Range<usize>, facts: &mut Ve
 }
 
 /// Bindings that create facts: clamps (`.min(PATH.len() - k)`),
-/// `partition_point`, constant zero, and `[e; N]` arrays.
-fn let_facts(tokens: &[Token], at: usize, body: &Range<usize>, facts: &mut Vec<ScopedFact>) {
+/// `partition_point`, constant zero, `[e; N]` arrays, `vec![e; n]`
+/// lengths, and calls to functions with a return-bound summary.
+fn let_facts(
+    tokens: &[Token],
+    at: usize,
+    body: &Range<usize>,
+    summaries: &Summaries,
+    facts: &mut Vec<ScopedFact>,
+) {
     let mut j = at + 1;
     if tok_ident(tokens, j) == Some("mut") {
         j += 1;
@@ -975,6 +1161,95 @@ fn let_facts(tokens: &[Token], at: usize, body: &Range<usize>, facts: &mut Vec<S
         }
         return;
     }
+    // `let v = vec![e; COUNT];` — a literal count gives an exact length,
+    // a path count gives the symbolic equation `v.len() == COUNT`.
+    if tok_ident(tokens, rhs.start) == Some("vec")
+        && tok_punct(tokens, rhs.start + 1, '!')
+        && tok_punct(tokens, rhs.start + 2, '[')
+    {
+        if let Some(close) = matching(tokens, rhs.start + 2) {
+            if close + 1 == rhs.end {
+                let mut depth = 0i64;
+                let mut semi = None;
+                for k in rhs.start + 3..close {
+                    match tokens.get(k) {
+                        Some(t) if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') => {
+                            depth += 1;
+                        }
+                        Some(t) if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') => {
+                            depth -= 1;
+                        }
+                        Some(t) if t.is_punct(';') && depth == 0 => semi = Some(k),
+                        _ => {}
+                    }
+                }
+                if let Some(semi) = semi {
+                    let count = semi + 1..close;
+                    if let Some(n) = const_expr(tokens, &count) {
+                        if n >= 1 {
+                            facts.push(ScopedFact {
+                                needs_len: None,
+                                fact: Fact::ExactLen { seq: var, len: n },
+                                scope,
+                            });
+                        }
+                    } else if let Some((path, after)) = path_starting_at(tokens, count.start) {
+                        if after == count.end {
+                            facts.push(ScopedFact {
+                                needs_len: None,
+                                fact: Fact::EqLenPath { seq: var, path },
+                                scope,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        return;
+    }
+    // `let v = f(a, b, ..)[?];` with a return-bound summary for `f`:
+    // the contract, instantiated with the call's arguments, bounds `v`.
+    if let Some((path, after)) = path_starting_at(tokens, rhs.start) {
+        if tok_punct(tokens, after, '(') {
+            if let Some(close) = matching(tokens, after) {
+                let tail_ok = close + 1 == rhs.end
+                    || (tok_punct(tokens, close + 1, '?') && close + 2 == rhs.end);
+                if tail_ok {
+                    if let Some(contract) = summaries.ret_contract(&path) {
+                        let fact = match contract {
+                            RetContract::LtParam(k) => call_arg_path(tokens, after + 1, close, *k)
+                                .map(|arg| Fact::VarLtPath {
+                                    var: var.clone(),
+                                    path: arg,
+                                }),
+                            RetContract::LtLenOfParam(k) => {
+                                call_arg_path(tokens, after + 1, close, *k).map(|arg| {
+                                    Fact::VarBound {
+                                        var: var.clone(),
+                                        seq: arg,
+                                        max_off: 0,
+                                    }
+                                })
+                            }
+                            RetContract::LeConst(c) => Some(Fact::VarLeConst {
+                                var: var.clone(),
+                                max: *c,
+                            }),
+                            RetContract::ElemsLtParam(_) => None,
+                        };
+                        if let Some(fact) = fact {
+                            facts.push(ScopedFact {
+                                needs_len: None,
+                                fact,
+                                scope,
+                            });
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
     // `let v = PATH.partition_point(..);` — result ≤ PATH.len().
     if let Some((path, after)) = path_starting_at(tokens, rhs.start) {
         if let Some(seq) = path.strip_suffix(".partition_point") {
@@ -1033,20 +1308,31 @@ fn let_facts(tokens: &[Token], at: usize, body: &Range<usize>, facts: &mut Vec<S
 /// mutation of the sequence. Matches on last path segments, which kills
 /// more than strictly necessary — the safe direction for a prover.
 fn kill_scan(tokens: &[Token], sf: &mut ScopedFact) {
-    let (var, seq) = match &sf.fact {
+    let (var, mut seqs): (Option<String>, Vec<String>) = match &sf.fact {
         Fact::VarBound { var, seq, .. } | Fact::UpToLen { var, seq } => {
-            (Some(var.clone()), Some(last_segment(seq).to_string()))
+            (Some(var.clone()), vec![last_segment(seq).to_string()])
         }
         Fact::MinLen { seq, .. } | Fact::ExactLen { seq, .. } => {
-            (None, Some(last_segment(seq).to_string()))
+            (None, vec![last_segment(seq).to_string()])
         }
-        Fact::ZeroConst { var } => (Some(var.clone()), None),
+        // The symbolic count is killed like a sequence: a reassignment of
+        // its last segment invalidates the equation / bound.
+        Fact::EqLenPath { seq, path } => (
+            None,
+            vec![
+                last_segment(seq).to_string(),
+                last_segment(path).to_string(),
+            ],
+        ),
+        Fact::VarLtPath { var, path } => (Some(var.clone()), vec![last_segment(path).to_string()]),
+        Fact::VarLeConst { var, .. } | Fact::ZeroConst { var } => (Some(var.clone()), Vec::new()),
     };
+    seqs.dedup();
     let mut j = sf.scope.start;
     while j < sf.scope.end {
         if let Some(name) = tok_ident(tokens, j) {
             let hits_var = var.as_deref() == Some(name);
-            let hits_seq = seq.as_deref() == Some(name);
+            let hits_seq = seqs.iter().any(|s| s == name);
             if hits_var || hits_seq {
                 if reassigned_at(tokens, j) {
                     sf.scope.end = j;
@@ -1146,14 +1432,14 @@ fn prove_sites(
     }
 }
 
-enum Proof {
+pub(crate) enum Proof {
     InBounds,
     OutOfBounds(String),
     Unknown,
 }
 
 /// Decides one index expression `seq[expr]` at token position `at`.
-fn prove_index(
+pub(crate) fn prove_index(
     tokens: &[Token],
     expr: &Range<usize>,
     seq: &str,
@@ -1179,6 +1465,31 @@ fn prove_index(
         } else {
             Proof::Unknown
         };
+    }
+    // `seq[E % COUNT]`: the remainder is `< COUNT`, so the index is in
+    // bounds whenever `COUNT` equals `seq`'s length — either literally
+    // (`E % seq.len()`) or via an `EqLenPath` equation. (An empty `seq`
+    // makes the `%` itself panic before the index executes, so the index
+    // site still cannot go out of bounds.)
+    if let Some(m) = last_depth0_percent(tokens, expr) {
+        let rhs = m + 1..expr.end;
+        if let Some((p, 0)) = len_minus_expr(tokens, &rhs) {
+            if p == seq {
+                return Proof::InBounds;
+            }
+        }
+        if let Some((p, after)) = path_starting_at(tokens, rhs.start) {
+            if after == rhs.end
+                && fact_active(
+                    facts,
+                    at,
+                    |f| matches!(f, Fact::EqLenPath { seq: s, path } if s == seq && *path == p),
+                )
+            {
+                return Proof::InBounds;
+            }
+        }
+        return Proof::Unknown;
     }
     // `seq[seq.len()]` / `seq[seq.len() - k]`. The subtraction wraps in a
     // release build when `len < k` and the wrapped index reaches the
@@ -1241,6 +1552,42 @@ fn prove_index(
         }) {
             return Proof::InBounds;
         }
+        // `var < count` joined with `seq.len() == count` (c must be 0 —
+        // nothing relates `var + c` to the count).
+        if c == 0 {
+            let join = facts.iter().any(|a| {
+                a.scope.contains(&at)
+                    && match &a.fact {
+                        Fact::VarLtPath { var: v, path } if *v == var => facts.iter().any(|b| {
+                            b.scope.contains(&at)
+                                && matches!(&b.fact, Fact::EqLenPath { seq: s, path: p }
+                                        if s == seq && p == path)
+                        }),
+                        _ => false,
+                    }
+            });
+            if join {
+                return Proof::InBounds;
+            }
+        }
+        // `var <= m` (a `.min(m)`-shaped summary) joined with a length
+        // fact proving `seq.len() > m + c`.
+        let le_join = facts.iter().any(|a| {
+            a.scope.contains(&at)
+                && match &a.fact {
+                    Fact::VarLeConst { var: v, max } if *v == var => {
+                        let need = max + c;
+                        fact_active(facts, at, |f| {
+                            matches!(f, Fact::MinLen { seq: s, min_len } if s == seq && *min_len >= need)
+                                || matches!(f, Fact::ExactLen { seq: s, len } if s == seq && *len > need)
+                        })
+                    }
+                    _ => false,
+                }
+        });
+        if le_join {
+            return Proof::InBounds;
+        }
         return Proof::Unknown;
     }
     // `seq[rng.gen_range(0..seq.len())]` — the sampled index is < len by
@@ -1262,6 +1609,22 @@ fn prove_index(
         }
     }
     Proof::Unknown
+}
+
+/// Last depth-0 binary `%` in `expr`, if any (a remainder, never the
+/// start of the expression).
+fn last_depth0_percent(tokens: &[Token], expr: &Range<usize>) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut found = None;
+    for j in expr.start..expr.end {
+        match tokens.get(j) {
+            Some(t) if t.is_punct('(') || t.is_punct('[') => depth += 1,
+            Some(t) if t.is_punct(')') || t.is_punct(']') => depth -= 1,
+            Some(t) if depth == 0 && t.is_punct('%') && j > expr.start => found = Some(j),
+            _ => {}
+        }
+    }
+    found
 }
 
 /// First depth-0 `..` in `expr`, if any.
@@ -1287,7 +1650,7 @@ fn depth0_dotdot(tokens: &[Token], expr: &Range<usize>) -> Option<usize> {
 }
 
 /// A bare integer literal spanning exactly `range`.
-fn const_expr(tokens: &[Token], range: &Range<usize>) -> Option<u64> {
+pub(crate) fn const_expr(tokens: &[Token], range: &Range<usize>) -> Option<u64> {
     if range.start + 1 == range.end {
         tok_int(tokens, range.start)
     } else {
@@ -1578,7 +1941,7 @@ fn assignment_at(
 }
 
 /// First `;` at depth 0 from `from`.
-fn statement_end(tokens: &[Token], from: usize, body: &Range<usize>) -> Option<usize> {
+pub(crate) fn statement_end(tokens: &[Token], from: usize, body: &Range<usize>) -> Option<usize> {
     let mut depth = 0i64;
     let mut j = from;
     while j < body.end {
@@ -1776,8 +2139,23 @@ mod tests {
     fn run(src: &str, check_units: bool) -> (Vec<Violation>, FileProofs) {
         let tokens = lex(src);
         let parsed = parse_file("test.rs", &tokens);
+        // Summaries computed from the same snippet, so cross-function
+        // contract tests exercise the real pipeline shape.
+        let sources = vec![crate::workspace::SourceFile {
+            path: "test.rs".to_string(),
+            tokens: tokens.clone(),
+        }];
+        let parsed_files = vec![parse_file("test.rs", &tokens)];
+        let summaries = crate::summary::compute_summaries(&sources, &parsed_files);
         let mut out = Vec::new();
-        let proofs = flow_pass("test.rs", &tokens, &parsed, check_units, &mut out);
+        let proofs = flow_pass(
+            "test.rs",
+            &tokens,
+            &parsed,
+            check_units,
+            &summaries,
+            &mut out,
+        );
         (out, proofs)
     }
 
@@ -2074,5 +2452,130 @@ mod tests {
             false,
         );
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn while_head_proves_uses_before_mutation() {
+        let (out, proofs) = run(
+            "fn f(xs: &[u8]) -> usize { let mut j = 0; let mut n = 0; while j < xs.len() { if xs[j] == 1 { n += 1; } j += 1; } n }",
+            false,
+        );
+        assert!(out.is_empty());
+        assert_eq!(proofs.proven_sites(), 1);
+    }
+
+    #[test]
+    fn while_head_does_not_prove_uses_after_mutation() {
+        let (_, proofs) = run(
+            "fn f(xs: &[u8]) -> usize { let mut j = 0; let mut n = 0; while j < xs.len() { j += 1; n += xs[j] as usize; } n }",
+            false,
+        );
+        assert_eq!(proofs.proven_sites(), 0);
+    }
+
+    #[test]
+    fn vec_count_guard_proves_deref_index() {
+        let (out, proofs) = run(
+            "fn f(labels: &[usize], k: usize) -> Vec<usize> { let mut sizes = vec![0usize; k]; for l in labels { if *l < k { sizes[*l] += 1; } } sizes }",
+            false,
+        );
+        assert!(out.is_empty());
+        assert_eq!(proofs.proven_sites(), 1);
+    }
+
+    #[test]
+    fn vec_count_without_guard_not_proven() {
+        let (_, proofs) = run(
+            "fn f(labels: &[usize], k: usize) -> Vec<usize> { let mut sizes = vec![0usize; k]; for l in labels { sizes[*l] += 1; } sizes }",
+            false,
+        );
+        assert_eq!(proofs.proven_sites(), 0);
+    }
+
+    #[test]
+    fn vec_literal_count_refutes_constant_index() {
+        let (out, _) = run("fn f() -> u8 { let v = vec![0u8; 4]; v[4] }", false);
+        assert_eq!(rules(&out), vec!["flow.range"]);
+    }
+
+    #[test]
+    fn modulo_by_len_proves_index() {
+        let (out, proofs) = run(
+            "fn f(xs: &[u8], i: usize) -> u8 { xs[i % xs.len()] }",
+            false,
+        );
+        assert!(out.is_empty());
+        assert_eq!(proofs.proven_sites(), 1);
+    }
+
+    #[test]
+    fn modulo_by_eq_len_path_proves_index() {
+        let (out, proofs) = run(
+            "fn f(n: usize, i: usize) -> u8 { let v = vec![0u8; n]; v[i % n] }",
+            false,
+        );
+        assert!(out.is_empty());
+        assert_eq!(proofs.proven_sites(), 1);
+    }
+
+    #[test]
+    fn modulo_by_unrelated_count_not_proven() {
+        let (_, proofs) = run(
+            "fn f(n: usize, m: usize, i: usize) -> u8 { let v = vec![0u8; n]; v[i % m] }",
+            false,
+        );
+        assert_eq!(proofs.proven_sites(), 0);
+    }
+
+    #[test]
+    fn assert_eq_with_message_gives_symbolic_length() {
+        let (out, proofs) = run(
+            "fn f(per: &[u8], n: usize, spot: usize) -> u8 { assert_eq!(per.len(), n, \"want {} got {}\", n, per.len()); per[spot % n] }",
+            false,
+        );
+        assert!(out.is_empty());
+        assert_eq!(proofs.proven_sites(), 1);
+    }
+
+    #[test]
+    fn summary_contract_bounds_call_result() {
+        let (out, proofs) = run(
+            "fn wrap(i: usize, n: usize) -> usize { i % n }\n\
+             fn f(i: usize, n: usize) -> u8 { let v = vec![0u8; n]; let k = wrap(i, n); v[k] }",
+            false,
+        );
+        assert!(out.is_empty());
+        assert_eq!(proofs.proven_sites(), 1);
+    }
+
+    #[test]
+    fn summary_len_contract_bounds_call_result() {
+        let (out, proofs) = run(
+            "fn wrap(i: usize, xs: &[u8]) -> usize { i % xs.len() }\n\
+             fn f(i: usize, xs: &[u8]) -> u8 { let k = wrap(i, xs); xs[k] }",
+            false,
+        );
+        assert!(out.is_empty());
+        assert_eq!(proofs.proven_sites(), 1);
+    }
+
+    #[test]
+    fn elems_contract_bounds_loop_variable() {
+        let (out, proofs) = run(
+            "fn choose(n: usize, k: usize) -> Vec<usize> { let mut idx: Vec<usize> = (0..n).collect(); idx.truncate(k); idx }\n\
+             fn f(n: usize) -> u8 { let v = vec![0u8; n]; let mut acc = 0; for i in choose(n, 3) { acc += v[i]; } acc }",
+            false,
+        );
+        assert!(out.is_empty());
+        assert_eq!(proofs.proven_sites(), 1);
+    }
+
+    #[test]
+    fn reassigned_count_kills_symbolic_length() {
+        let (_, proofs) = run(
+            "fn f(mut n: usize, i: usize) -> u8 { let v = vec![0u8; n]; n = n + 4; v[i % n] }",
+            false,
+        );
+        assert_eq!(proofs.proven_sites(), 0);
     }
 }

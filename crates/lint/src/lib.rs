@@ -37,6 +37,14 @@
 //! `proto.abi`) that fingerprints every canonical `Message` encoding
 //! into the committed `link.abi.lock`.
 //!
+//! The fourth layer is *interprocedural* (DESIGN.md §16): bottom-up
+//! function summaries ([`summary`]) lift the interval prover across call
+//! boundaries (`flow.summary`, plus contracts the prover consumes), and
+//! a taint analysis over the wire trust boundary ([`taint`]) proves that
+//! no peer- or segment-controlled value reaches an allocation, index or
+//! loop bound without a recognized validation idiom (`taint.wire-alloc`,
+//! `taint.wire-index`, `taint.wire-arith`).
+//!
 //! Run it as `cargo run -p bsa-lint -- check` (add `--format json` for
 //! the CI artifact). The analyzer is dependency-free: it lexes Rust
 //! itself ([`lexer`]) instead of pulling in `syn`, so it keeps working in
@@ -53,6 +61,8 @@ pub mod proto;
 pub mod reach;
 pub mod report;
 pub mod rules;
+pub mod summary;
+pub mod taint;
 pub mod workspace;
 
 pub use abi::{
@@ -66,8 +76,10 @@ pub use locks::lock_order_pass;
 pub use parser::{parse_file, ParsedFile};
 pub use proto::{proto_pass, ProtoConfig, ProtoSummary};
 pub use reach::{reach_pass, ProvenLines};
-pub use report::{render_json, Report};
+pub use report::{render_json, render_sarif, Report};
 pub use rules::{rule_description, run_rules, RuleSet, Violation, RULE_IDS};
+pub use summary::{compute_summaries, summary_pass, RetContract, Summaries};
+pub use taint::taint_pass;
 pub use workspace::{
     check_file, check_sources, check_sources_full, check_workspace, collect_files, load_lock_state,
     load_sources, rules_for, workspace_root, CheckOutcome, PassTimings, SourceFile,

@@ -5,6 +5,7 @@
 //!                                    # non-allowlisted violation or any
 //!                                    # stale allowlist budget
 //! cargo run -p bsa-lint -- check --format json   # machine-readable report
+//! cargo run -p bsa-lint -- check --format sarif  # SARIF 2.1.0 for code scanning
 //! cargo run -p bsa-lint -- list     # every raw violation, pre-allowlist
 //! cargo run -p bsa-lint -- budget   # total allowlist budget (CI compares
 //!                                    # this against the baseline)
@@ -17,8 +18,8 @@
 
 use bsa_lint::{
     allow, canonical_entries, check_workspace, load_lock_state, load_sources, render_json,
-    render_lock, rule_description, workspace_root, AbiSummary, Allowlist, PassTimings,
-    ProtoSummary, Report, LOCK_FILE, RULE_IDS,
+    render_lock, render_sarif, rule_description, workspace_root, AbiSummary, Allowlist,
+    PassTimings, ProtoSummary, Report, LOCK_FILE, RULE_IDS,
 };
 use std::collections::BTreeMap;
 use std::fs;
@@ -30,7 +31,13 @@ const ALLOWLIST: &str = "lint.allow.toml";
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("check") => cmd_check(wants_json(&args)),
+        Some("check") => match parse_format(&args) {
+            Ok(format) => cmd_check(format),
+            Err(e) => {
+                eprintln!("bsa-lint: {e}");
+                ExitCode::from(2)
+            }
+        },
         Some("list") => cmd_list(),
         Some("budget") => cmd_budget(),
         Some("tighten") => cmd_tighten(),
@@ -46,26 +53,44 @@ fn main() -> ExitCode {
             eprintln!("bsa-lint: unknown command `{name}`");
             eprintln!(
                 "usage: cargo run -p bsa-lint -- <check|list|budget|tighten|rules|abi> \
-                 [--format json]"
+                 [--format json|sarif]"
             );
             ExitCode::from(2)
         }
     }
 }
 
-/// `--format json` or `--format=json` anywhere after the command.
-fn wants_json(args: &[String]) -> bool {
+/// Output shape for `check`.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
+/// `--format json|sarif` or `--format=…` anywhere after the command.
+fn parse_format(args: &[String]) -> Result<Format, String> {
     let mut prev_was_format = false;
     for a in args {
-        if a == "--format=json" {
-            return true;
-        }
-        if prev_was_format && a == "json" {
-            return true;
-        }
+        let value = if let Some(v) = a.strip_prefix("--format=") {
+            Some(v)
+        } else if prev_was_format {
+            Some(a.as_str())
+        } else {
+            None
+        };
         prev_was_format = a == "--format";
+        match value {
+            Some("json") => return Ok(Format::Json),
+            Some("sarif") => return Ok(Format::Sarif),
+            Some(other) => return Err(format!("unknown format `{other}` (json|sarif)")),
+            None => {}
+        }
     }
-    false
+    if prev_was_format {
+        return Err("missing value after --format (json|sarif)".to_string());
+    }
+    Ok(Format::Human)
 }
 
 fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
@@ -113,11 +138,13 @@ fn abi_line(abi: Option<&AbiSummary>) -> String {
 /// One-line pass-timing summary for the human-readable output.
 fn timings_line(t: &PassTimings) -> String {
     format!(
-        "timings: lexical {}ms, parse {}ms, flow {}ms, reach {}ms, proto {}ms, \
-         conc {}ms, lock-order {}ms, abi {}ms — total {}ms",
+        "timings: lexical {}ms, parse {}ms, summary {}ms, flow {}ms, taint {}ms, \
+         reach {}ms, proto {}ms, conc {}ms, lock-order {}ms, abi {}ms — total {}ms",
         t.lexical_us / 1000,
         t.parse_us / 1000,
+        t.summary_us / 1000,
         t.flow_us / 1000,
+        t.taint_us / 1000,
         t.reach_us / 1000,
         t.proto_us / 1000,
         t.conc_us / 1000,
@@ -127,7 +154,7 @@ fn timings_line(t: &PassTimings) -> String {
     )
 }
 
-fn cmd_check(json: bool) -> ExitCode {
+fn cmd_check(format: Format) -> ExitCode {
     let root = workspace_root();
     let allowlist = match load_allowlist(&root) {
         Ok(a) => a,
@@ -148,19 +175,22 @@ fn cmd_check(json: bool) -> ExitCode {
     let (violations, proto) = (&outcome.violations, &outcome.proto);
     let rec = allow::reconcile(violations, &allowlist);
 
-    if json {
-        print!(
-            "{}",
-            render_json(&Report {
-                files_checked: sources.len(),
-                violations_total: violations.len(),
-                rec: &rec,
-                allow: &allowlist,
-                proto,
-                abi: outcome.abi.as_ref(),
-                timings: &outcome.timings,
-            })
-        );
+    if format != Format::Human {
+        match format {
+            Format::Json => print!(
+                "{}",
+                render_json(&Report {
+                    files_checked: sources.len(),
+                    violations_total: violations.len(),
+                    rec: &rec,
+                    allow: &allowlist,
+                    proto,
+                    abi: outcome.abi.as_ref(),
+                    timings: &outcome.timings,
+                })
+            ),
+            _ => print!("{}", render_sarif(violations, &rec)),
+        }
         return if rec.clean() {
             ExitCode::SUCCESS
         } else {

@@ -78,6 +78,10 @@ pub const RULE_IDS: &[&str] = &[
     "flow.range",
     "conc.lock-order",
     "proto.abi",
+    "flow.summary",
+    "taint.wire-alloc",
+    "taint.wire-index",
+    "taint.wire-arith",
 ];
 
 /// One-line description per rule id, for `rules` output.
@@ -104,6 +108,10 @@ pub fn rule_description(id: &str) -> &'static str {
         "flow.range" => "interval analysis proves an index/divisor can panic",
         "conc.lock-order" => "lock/channel acquisition-order cycle (potential deadlock)",
         "proto.abi" => "wire encoding drifted from the committed link.abi.lock",
+        "flow.summary" => "function-summary contract proves a cross-function index panics",
+        "taint.wire-alloc" => "wire-derived count reaches an allocation or loop bound unvalidated",
+        "taint.wire-index" => "wire-derived value used as a slice index unvalidated",
+        "taint.wire-arith" => "overflowable arithmetic on wire-derived operands feeds a sink",
         _ => "unknown rule",
     }
 }

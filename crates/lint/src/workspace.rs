@@ -30,6 +30,8 @@ use crate::parser::{parse_file, ParsedFile};
 use crate::proto::{proto_pass, ProtoConfig, ProtoSummary};
 use crate::reach::{reach_pass, ProvenLines};
 use crate::rules::{run_rules, RuleSet, Violation};
+use crate::summary::{compute_summaries, summary_pass};
+use crate::taint::taint_pass;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -163,6 +165,8 @@ pub struct PassTimings {
     pub lexical_us: u128,
     pub parse_us: u128,
     pub flow_us: u128,
+    pub summary_us: u128,
+    pub taint_us: u128,
     pub reach_us: u128,
     pub proto_us: u128,
     pub conc_us: u128,
@@ -219,13 +223,20 @@ pub fn check_sources_full(
         .collect();
     timings.parse_us = t.elapsed().as_micros();
 
+    // Function summaries first: the interval prover consumes return-bound
+    // contracts at call sites, so they must exist before `flow_pass` runs.
+    let t = Instant::now();
+    let summaries = compute_summaries(sources, &parsed);
+    summary_pass(sources, &parsed, &summaries, &mut all);
+    timings.summary_us = t.elapsed().as_micros();
+
     // Dataflow: unit inference where dimensioned scalars live, interval
     // analysis everywhere the panic rules look.
     let t = Instant::now();
     let mut proven = ProvenLines::new();
     for (s, p) in sources.iter().zip(&parsed) {
         let check_units = UNIT_FLOW_PREFIXES.iter().any(|pre| s.path.starts_with(pre));
-        let proofs = flow_pass(&s.path, &s.tokens, p, check_units, &mut all);
+        let proofs = flow_pass(&s.path, &s.tokens, p, check_units, &summaries, &mut all);
         let lines = proofs.fully_proven();
         if !lines.is_empty() {
             proven.insert(s.path.clone(), lines);
@@ -240,6 +251,11 @@ pub fn check_sources_full(
                 .is_some_and(|lines| lines.contains(&v.line)))
     });
     timings.flow_us = t.elapsed().as_micros();
+
+    // Taint: wire-derived values reaching resource sinks unvalidated.
+    let t = Instant::now();
+    taint_pass(sources, &parsed, &mut all);
+    timings.taint_us = t.elapsed().as_micros();
 
     let t = Instant::now();
     reach_pass(sources, &parsed, allow, &proven, &mut all);

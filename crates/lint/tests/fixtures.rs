@@ -6,8 +6,9 @@
 use bsa_lint::lexer::{lex, strip_test_code};
 use bsa_lint::rules::{run_rules, RuleSet};
 use bsa_lint::{
-    abi_pass, conc_pass, flow_pass, lock_order_pass, parse_file, proto_pass, reach_pass, AbiEntry,
-    Allowlist, LockState, ParsedFile, ProtoConfig, SourceFile, Violation, STATION_PREFIX,
+    abi_pass, compute_summaries, conc_pass, flow_pass, lock_order_pass, parse_file, proto_pass,
+    reach_pass, summary_pass, taint_pass, AbiEntry, Allowlist, LockState, ParsedFile, ProtoConfig,
+    SourceFile, Violation, STATION_PREFIX,
 };
 use std::collections::BTreeMap;
 use std::fs;
@@ -165,8 +166,69 @@ fn flow_fixture_is_fully_flagged() {
             let (Some(sf), Some(pf)) = (s.first(), p.first()) else {
                 panic!("fixture harness passes exactly one file");
             };
-            flow_pass(&sf.path, &sf.tokens, pf, true, out);
+            flow_pass(
+                &sf.path,
+                &sf.tokens,
+                pf,
+                true,
+                &compute_summaries(s, p),
+                out,
+            );
         },
+    );
+}
+
+#[test]
+fn summary_fixture_is_fully_flagged() {
+    check_semantic_fixture(
+        "summary.rs",
+        "crates/core/src/summary_fixture.rs",
+        &|s, p, out| {
+            summary_pass(s, p, &compute_summaries(s, p), out);
+        },
+    );
+}
+
+#[test]
+fn taint_fixture_is_fully_flagged() {
+    // Synthetic path inside a wire-scope crate so the sources and sinks
+    // are armed; the fixture supplies both flagged flows and the full
+    // sanitizer vocabulary as unmarked negatives.
+    check_semantic_fixture(
+        "taint.rs",
+        "crates/link/src/taint_fixture.rs",
+        &|s, p, out| {
+            taint_pass(s, p, out);
+        },
+    );
+}
+
+/// The real validation idioms in `bsa-link`'s codec must stay taint-clean:
+/// `message.rs` is full of decode-then-check-then-`with_capacity` patterns
+/// that are exactly the shape the taint pass hunts, and every one of them
+/// bounds the count first. Zero findings here pins the false-positive
+/// rate on the highest-traffic wire code in the workspace.
+#[test]
+fn link_codec_has_zero_taint_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../link/src");
+    let mut sources = Vec::new();
+    for name in ["message.rs", "frame.rs", "wire.rs"] {
+        let path = root.join(name);
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        sources.push(SourceFile {
+            path: format!("crates/link/src/{name}"),
+            tokens: strip_test_code(&lex(&text)),
+        });
+    }
+    let parsed: Vec<ParsedFile> = sources
+        .iter()
+        .map(|sf| parse_file(&sf.path, &sf.tokens))
+        .collect();
+    let mut violations = Vec::new();
+    taint_pass(&sources, &parsed, &mut violations);
+    assert!(
+        violations.is_empty(),
+        "validated codec idioms must not be flagged: {violations:#?}"
     );
 }
 
@@ -235,6 +297,8 @@ fn every_rule_id_is_exercised_by_some_fixture() {
         "flow.rs",
         "locks.rs",
         "abi.rs",
+        "summary.rs",
+        "taint.rs",
     ] {
         for ((_, rule), _) in expected_markers(&fixture(name)) {
             seen.push(rule);

@@ -50,6 +50,12 @@ pub(crate) const DEFAULT_CHUNK_FRAMES: u32 = 8;
 /// DNA count readings per streamed chunk.
 const DNA_CHUNK_READINGS: usize = 64;
 
+/// Upper bound on a recorded frame's rows/cols accepted for replay. The
+/// geometry comes from a stored segment header — attacker/corruption
+/// territory — and sizes the chunk sample buffer, so it must be bounded
+/// before it feeds an allocation. Far above any real CMOS array axis.
+const MAX_REPLAY_DIM: usize = 4096;
+
 /// The receiving side of the session is gone (socket closed or writer
 /// dead); the session should wind down.
 #[derive(Debug)]
@@ -639,9 +645,15 @@ impl Session {
             // client's stream loop surfaces it as a server error.
             let payload = match meta.kind {
                 ChipKind::Neuro => {
-                    let mut samples = Vec::with_capacity(
-                        (n as usize) * usize::from(meta.rows) * usize::from(meta.cols),
-                    );
+                    let rows = usize::from(meta.rows);
+                    let cols = usize::from(meta.cols);
+                    if rows > MAX_REPLAY_DIM || cols > MAX_REPLAY_DIM {
+                        return self.out.send_control(error_reply(
+                            ErrorCode::StoreError,
+                            format!("recorded geometry {rows}x{cols} exceeds the replay limit"),
+                        ));
+                    }
+                    let mut samples = Vec::with_capacity((n as usize) * rows * cols);
                     for i in index..index + n {
                         let decoded = reader
                             .frame(i)

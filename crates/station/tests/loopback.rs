@@ -540,6 +540,53 @@ fn recorded_streams_replay_bit_identical_through_fresh_session() {
     let _ = std::fs::remove_dir_all(&store_root);
 }
 
+/// A recording whose stored header declares an absurd frame geometry is
+/// refused at replay with a typed server error before the session sizes
+/// any sample buffer from it — the header is segment-controlled data,
+/// the same trust boundary as the wire.
+#[test]
+fn replay_refuses_oversized_recorded_geometry() {
+    use bsa_store::{fnv1a64, Recorder, SegmentMeta};
+
+    let store_root = std::env::temp_dir().join(format!("bsa-station-geom-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+
+    // Plant a structurally valid segment (real CRCs, real footer) whose
+    // header claims a 8192x8192 array — far past MAX_REPLAY_DIM, and a
+    // ~25 GiB chunk buffer if the session trusted it.
+    let meta = SegmentMeta {
+        chip: 1,
+        kind: bsa_link::ChipKind::Neuro,
+        rows: 8192,
+        cols: 8192,
+        config_hash: fnv1a64(b"rogue"),
+        spec: "rogue".into(),
+    };
+    let mut rec = Recorder::create(&store_root, "rogue-take", &meta, 16, 4).unwrap();
+    rec.offer(0, vec![0u8; 16]).unwrap();
+    rec.finish().unwrap();
+
+    let station = Station::bind(StationConfig {
+        store_root: Some(store_root.clone()),
+        ..StationConfig::default()
+    })
+    .unwrap();
+    let mut client = StationClient::connect(station.addr(), "geom").unwrap();
+    let err = client.replay("rogue-take", 0).unwrap_err();
+    match err {
+        bsa_station::ClientError::Server { message, .. } => {
+            assert!(
+                message.contains("replay limit"),
+                "unexpected server message: {message}"
+            );
+        }
+        other => panic!("expected typed server error, got {other:?}"),
+    }
+
+    drop(station);
+    let _ = std::fs::remove_dir_all(&store_root);
+}
+
 /// Pixel masking round-trips: masked pixels are repaired by neighbor
 /// interpolation bit-identically to an in-process `PixelMask` repair of
 /// the same recording, and bad indices get a typed error.

@@ -87,6 +87,24 @@ impl SegmentReader {
             });
         }
 
+        // Bound both footer fields by the file size before either feeds
+        // an allocation: a corrupt count or offset must fail with a
+        // typed error, never an absurd `vec![0; …]` request.
+        if frame_count > bytes / 8 {
+            return Err(StoreError::Truncated {
+                what: "footer frame count",
+                needed: frame_count.saturating_mul(8),
+                available: bytes,
+            });
+        }
+        if index_off > bytes {
+            return Err(StoreError::Truncated {
+                what: "footer index offset",
+                needed: index_off,
+                available: bytes,
+            });
+        }
+
         // Structural equation before trusting either field: the offset
         // table must account for every byte between the records and the
         // tail. A corrupted count or offset cannot both pass this and

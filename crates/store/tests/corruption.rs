@@ -159,6 +159,49 @@ fn error_taxonomy_is_specific() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// A footer that declares an absurd frame count or index offset must be
+/// rejected with a typed size error *before* the reader sizes any buffer
+/// from it — the declared values here imply multi-exabyte allocations,
+/// so reaching `vec![0; …]` would abort the process instead of erroring.
+#[test]
+fn oversized_declared_footer_fields_rejected_before_allocation() {
+    let (good, _) = build_segment(ChipKind::Neuro);
+    let root = temp_root("oversize");
+    std::fs::create_dir_all(&root).unwrap();
+    let path = root.join("o.seg");
+    let n = good.len();
+    // Footer tail layout: frame_count u64 | index_off u64 | epochs u32 |
+    // crc u8 | magic [u8;4]  (FOOTER_TAIL_LEN = 25 bytes).
+    let count_at = n - 25;
+    let off_at = n - 17;
+
+    // Declared frame count far beyond what the file could hold.
+    let mut bad = good.clone();
+    bad[count_at..count_at + 8].copy_from_slice(&(u64::MAX / 16).to_le_bytes());
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        read_all(&path),
+        Err(StoreError::Truncated {
+            what: "footer frame count",
+            ..
+        })
+    ));
+
+    // Declared index offset past the end of the file.
+    let mut bad = good.clone();
+    bad[off_at..off_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        read_all(&path),
+        Err(StoreError::Truncated {
+            what: "footer index offset",
+            ..
+        })
+    ));
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: if cfg!(miri) { 4 } else { 64 },
